@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestCompbenchRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 7 algorithms x 12 profiles")
+	}
+	if err := run(60); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Command discosim runs the full-system DISCO experiments and regenerates
+// the paper's tables and figures (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	discosim -exp fig5                # Figure 5 at full fidelity
+//	discosim -exp all -quick          # everything, reduced settings
+//	discosim -exp fig7 -benchmarks canneal,streamcluster -ops 8000
+//	discosim -run disco -benchmark canneal -alg sc2   # one raw run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/disco-sim/disco/internal/cmp"
+	"github.com/disco-sim/disco/internal/compress"
+	"github.com/disco-sim/disco/internal/experiments"
+	"github.com/disco-sim/disco/internal/trace"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment: table1|fig5|fig6|fig7|fig8|area|ablation|calibrate|motivation|sensitivity|composition|all")
+		jsonOut = flag.String("json", "", "write all experiment results as JSON to this file (runs everything)")
+		csvOut  = flag.String("csv", "", "write raw per-run rows (benchmark x mode) as CSV to this file")
+		quick   = flag.Bool("quick", false, "reduced settings (fewer ops, 4 benchmarks)")
+		ops     = flag.Int("ops", 0, "measured memory ops per core (0 = preset)")
+		warmup  = flag.Int("warmup", 0, "warmup ops per core (0 = preset)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		benchs  = flag.String("benchmarks", "", "comma-separated benchmark subset")
+
+		runMode = flag.String("run", "", "single run mode: baseline|ideal|cc|cnc|disco")
+		bench   = flag.String("benchmark", "bodytrack", "benchmark for -run")
+		alg     = flag.String("alg", "delta", "compression algorithm for -run")
+		k       = flag.Int("k", 4, "mesh radix for -run")
+	)
+	flag.Parse()
+
+	if *runMode != "" {
+		if err := singleRun(*runMode, *bench, *alg, *k, *ops, *warmup, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "discosim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "" && *jsonOut == "" && *csvOut == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	o := experiments.Default()
+	if *quick {
+		o = experiments.Quick()
+	}
+	if *ops > 0 {
+		o.Ops = *ops
+	}
+	if *warmup > 0 {
+		o.Warmup = *warmup
+	}
+	o.Seed = *seed
+	if *benchs != "" {
+		o.Benchmarks = strings.Split(*benchs, ",")
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discosim:", err)
+			os.Exit(1)
+		}
+		if err := experiments.BatchCSV(o, *alg, f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "discosim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "discosim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+		return
+	}
+	if *jsonOut != "" {
+		rep, err := experiments.RunAll(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discosim:", err)
+			os.Exit(1)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discosim:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "discosim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
+	}
+	if err := runExperiments(*exp, o); err != nil {
+		fmt.Fprintln(os.Stderr, "discosim:", err)
+		os.Exit(1)
+	}
+}
+
+// runExperiments dispatches one or all experiments.
+func runExperiments(exp string, o experiments.Opts) error {
+	want := func(name string) bool { return exp == name || exp == "all" }
+	any := false
+	if want("table1") {
+		any = true
+		r, err := experiments.Table1(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 1: compression scheme parameters ==")
+		fmt.Println(r.Table())
+	}
+	if want("fig5") {
+		any = true
+		r, err := experiments.Fig5(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 5: latency, delta compression ==")
+		fmt.Println(r.Table())
+		fmt.Println(r.Chart())
+		fmt.Printf("DISCO gain: %.1f%% over CC, %.1f%% over CNC\n\n",
+			r.DiscoGainOverCC(), r.DiscoGainOverCNC())
+	}
+	if want("fig6") {
+		any = true
+		rs, err := experiments.Fig6(o)
+		if err != nil {
+			return err
+		}
+		for _, a := range []string{"fpc", "sc2"} {
+			r := rs[a]
+			fmt.Printf("== Figure 6: latency, %s ==\n", a)
+			fmt.Println(r.Table())
+			fmt.Printf("DISCO gain: %.1f%% over CC, %.1f%% over CNC\n\n",
+				r.DiscoGainOverCC(), r.DiscoGainOverCNC())
+		}
+	}
+	if want("fig7") {
+		any = true
+		r, err := experiments.Fig7(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 7: energy ==")
+		fmt.Println(r.Table())
+	}
+	if want("fig8") {
+		any = true
+		r, err := experiments.Fig8(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 8: scalability ==")
+		fmt.Println(r.Table())
+		fmt.Println(r.Chart())
+	}
+	if want("area") {
+		any = true
+		fmt.Println("== Section 4.3: area overhead ==")
+		fmt.Println(experiments.AreaTable())
+	}
+	if want("ablation") {
+		any = true
+		r, err := experiments.Ablation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== DISCO policy ablation ==")
+		fmt.Println(r.Table())
+	}
+	if exp == "composition" { // analysis aid, not part of "all"
+		any = true
+		r, err := experiments.Composition(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== on-chip energy composition ==")
+		fmt.Println(r.Table())
+	}
+	if exp == "sensitivity" { // analysis aid, not part of "all"
+		any = true
+		r, err := experiments.Sensitivity(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== NoC sensitivity (VC depth / flow control) ==")
+		fmt.Println(r.Table())
+	}
+	if exp == "motivation" { // analysis aid, not part of "all"
+		any = true
+		r, err := experiments.Motivation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== DISCO motivation statistics ==")
+		fmt.Println(r.Table())
+	}
+	if exp == "calibrate" { // not part of "all": it is a tuning aid
+		any = true
+		r, err := experiments.CalibrateThresholds(o, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== threshold calibration (Section 3.2 training) ==")
+		fmt.Println(r.Table())
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// singleRun executes one raw simulation and prints its result line.
+func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64) error {
+	prof, ok := trace.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (have %s)", bench, strings.Join(trace.Names(), ","))
+	}
+	var m cmp.Mode
+	switch mode {
+	case "baseline":
+		m = cmp.Baseline
+	case "ideal":
+		m = cmp.Ideal
+	case "cc":
+		m = cmp.CC
+	case "cnc":
+		m = cmp.CNC
+	case "disco":
+		m = cmp.DISCO
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	var a compress.Algorithm
+	if m != cmp.Baseline {
+		var err error
+		a, err = compress.New(alg)
+		if err != nil {
+			return err
+		}
+	}
+	cfg := cmp.DefaultConfig(m, a, prof)
+	cfg.K = k
+	cfg.Seed = seed
+	if ops > 0 {
+		cfg.OpsPerCore = ops
+	}
+	if warmup > 0 {
+		cfg.WarmupOps = warmup
+	}
+	sys, err := cmp.New(cfg)
+	if err != nil {
+		return err
+	}
+	r, err := sys.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Detailed())
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/disco-sim/disco/internal/experiments"
+)
+
+func TestSingleRunAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system runs")
+	}
+	for _, mode := range []string{"baseline", "ideal", "cc", "cnc", "disco"} {
+		if err := singleRun(mode, "swaptions", "delta", 4, 400, 200, 1); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+	}
+}
+
+func TestSingleRunRejectsBadInputs(t *testing.T) {
+	if err := singleRun("warp", "swaptions", "delta", 4, 100, 50, 1); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if err := singleRun("disco", "nope", "delta", 4, 100, 50, 1); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	if err := singleRun("disco", "swaptions", "bogus", 4, 100, 50, 1); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestRunExperimentsDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system runs")
+	}
+	o := experiments.Opts{Ops: 300, Warmup: 150, Seed: 1, Benchmarks: []string{"swaptions"}}
+	for _, exp := range []string{"table1", "area", "motivation", "composition"} {
+		if err := runExperiments(exp, o); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+	if err := runExperiments("fig99", o); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

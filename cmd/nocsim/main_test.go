@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSinglePoint(t *testing.T) {
+	if err := run(4, 2, 8, true, "delta", 0.02, 0.5, 0.7, "uniform", 0, 2000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run(4, 2, 8, true, "bogus", 0.02, 0.5, 0.7, "uniform", 0, 100, 1); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if err := run(4, 2, 8, false, "delta", 0.02, 0.5, 0.7, "spiral", 0, 100, 1); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+	if err := run(1, 2, 8, false, "delta", 0.02, 0.5, 0.7, "uniform", 0, 100, 1); err == nil {
+		t.Error("bad mesh radix should fail")
+	}
+}
+
+func TestRunSweepMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	if err := runSweep(4, 2, 8, false, "delta", 0.5, 0.7, "uniform", 0, 1500, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(4, 2, 8, false, "delta", 0.5, 0.7, "wat", 0, 100, 1); err == nil {
+		t.Error("bad pattern should fail")
+	}
+}

@@ -1,0 +1,57 @@
+// Command tracegen snapshots the synthetic workload generators into
+// portable trace files (one per core) in the format internal/trace
+// defines, so runs can be replayed, shared or hand-edited:
+//
+//	tracegen -benchmark canneal -ops 20000 -cores 16 -out /tmp/canneal
+//
+// writes /tmp/canneal.core00.trace ... and the replays drive cmp via
+// Config.Streams.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/disco-sim/disco/internal/trace"
+)
+
+func main() {
+	var (
+		bench = flag.String("benchmark", "bodytrack", "profile to snapshot")
+		ops   = flag.Int("ops", 20000, "accesses per core")
+		cores = flag.Int("cores", 16, "number of cores")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("out", "trace", "output path prefix")
+	)
+	flag.Parse()
+	if err := run(*bench, *ops, *cores, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, ops, cores int, seed int64, out string) error {
+	prof, ok := trace.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", bench)
+	}
+	for core := 0; core < cores; core++ {
+		g := trace.NewGenerator(&prof, core, seed)
+		accs := trace.Record(g, ops)
+		path := fmt.Sprintf("%s.core%02d.trace", out, core)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteTrace(f, accs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d accesses)\n", path, len(accs))
+	}
+	return nil
+}

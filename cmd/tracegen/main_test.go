@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/disco-sim/disco/internal/trace"
+)
+
+func TestTracegenWritesReadableTraces(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "t")
+	if err := run("vips", 200, 2, 1, prefix); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(prefix + ".core01.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	accs, err := trace.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 200 {
+		t.Errorf("accesses = %d, want 200", len(accs))
+	}
+}
+
+func TestTracegenRejectsUnknownBenchmark(t *testing.T) {
+	if err := run("nope", 10, 1, 1, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}

@@ -1,0 +1,26 @@
+// Package disco is a from-scratch Go reproduction of "DISCO: A Low
+// Overhead In-Network Data Compressor for Energy-Efficient Chip
+// Multi-Processors" (Wang et al., DAC 2016).
+//
+// The public surface lives in the internal packages (this repository is a
+// research artifact, not a dependency):
+//
+//	internal/compress    block compression algorithms (delta, BΔI, FPC,
+//	                     SFPC, C-Pack, SC²)
+//	internal/noc         cycle-accurate wormhole mesh NoC with DISCO
+//	                     in-router compression
+//	internal/disco       the DISCO arbitrator + engine (Eq. 1/2, shadow
+//	                     packets, separate compression)
+//	internal/cache       L1 + compressed NUCA bank structures
+//	internal/mem         DRAM model
+//	internal/trace       synthetic PARSEC-like workloads
+//	internal/energy      Orion/CACTI-style energy & area models
+//	internal/cmp         the full-system CMP simulator (5 modes)
+//	internal/experiments the table/figure regeneration harness
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem .
+package disco

@@ -1,0 +1,33 @@
+// energy_report reproduces a reduced Figure 7: memory-subsystem energy of
+// CC, CNC and DISCO normalized to the no-compression baseline, with
+// DISCO's absolute component breakdown (router/link/cache/DRAM/
+// compressor/leakage).
+//
+// Run the full-fidelity version with: go run ./cmd/discosim -exp fig7
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/disco-sim/disco/internal/experiments"
+)
+
+func main() {
+	o := experiments.Opts{
+		Ops: 4000, Warmup: 2000, Seed: 1,
+		Benchmarks: []string{"canneal", "streamcluster", "x264", "facesim"},
+	}
+	fmt.Println("running Fig.7-style energy study (delta compression)...")
+	r, err := experiments.Fig7(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Table())
+	fmt.Println("DISCO energy breakdown per benchmark:")
+	for _, row := range r.Rows {
+		fmt.Printf("  %-14s %s\n", row.Bench, row.DiscoBreakdown)
+	}
+	fmt.Println()
+	fmt.Println(experiments.AreaTable())
+}

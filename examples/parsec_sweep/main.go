@@ -1,0 +1,28 @@
+// parsec_sweep reproduces a reduced Figure 5: normalized on-chip data
+// access latency of CC, CNC and DISCO (Ideal = 1.0) over a subset of the
+// synthetic PARSEC workloads with the paper's delta compressor.
+//
+// Run the full-fidelity version with: go run ./cmd/discosim -exp fig5
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/disco-sim/disco/internal/experiments"
+)
+
+func main() {
+	o := experiments.Opts{
+		Ops: 4000, Warmup: 2000, Seed: 1,
+		Benchmarks: []string{"bodytrack", "canneal", "freqmine", "swaptions", "x264"},
+	}
+	fmt.Println("running Fig.5-style sweep (delta compression, 4x4 CMP)...")
+	r, err := experiments.Fig5(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Table())
+	fmt.Printf("DISCO beats CC by %.1f%% and CNC by %.1f%% (gmean)\n",
+		r.DiscoGainOverCC(), r.DiscoGainOverCNC())
+}

@@ -1,0 +1,30 @@
+// scalability reproduces a reduced Figure 8: how DISCO's advantage over
+// per-bank cache compression (CC) grows with mesh size (2x2 -> 4x4 ->
+// 8x8), because larger networks expose more queueing to overlap and more
+// hops of fat-packet serialization to avoid.
+//
+// Run the full-fidelity version with: go run ./cmd/discosim -exp fig8
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/disco-sim/disco/internal/experiments"
+)
+
+func main() {
+	o := experiments.Opts{
+		Ops: 2500, Warmup: 1500, Seed: 1,
+		Benchmarks: []string{"bodytrack", "canneal", "x264"},
+	}
+	fmt.Println("running Fig.8-style mesh-size sweep (this takes a minute)...")
+	r, err := experiments.Fig8(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Table())
+	for _, row := range r.Rows {
+		fmt.Printf("%dx%d mesh: DISCO gain over CC = %.1f%%\n", row.K, row.K, row.GainPct)
+	}
+}

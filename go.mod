@@ -1,0 +1,3 @@
+module github.com/disco-sim/disco
+
+go 1.22

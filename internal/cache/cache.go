@@ -1,0 +1,54 @@
+// Package cache provides the memory-hierarchy substrate of the DISCO
+// evaluation platform: private L1 data caches with MOESI states and
+// shared NUCA L2 banks whose data arrays are segmented so compressed
+// lines occupy fewer segments (higher effective capacity), as assumed by
+// all compressed-cache schemes the paper compares (CC, CNC, DISCO, Ideal).
+//
+// The structures are passive and untimed: the full-system simulator
+// (internal/cmp) owns the clock, the coherence protocol and the NoC
+// messaging; this package answers "what is in the cache and what must be
+// evicted" deterministically.
+package cache
+
+import "fmt"
+
+// Addr is a cache-block address (byte address >> 6 for 64-byte lines).
+type Addr uint64
+
+// CohState is a MOESI coherence state for an L1 line.
+type CohState int
+
+// MOESI states.
+const (
+	Invalid CohState = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s CohState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("CohState(%d)", int(s))
+}
+
+// CanRead reports whether the state grants read permission.
+func (s CohState) CanRead() bool { return s != Invalid }
+
+// CanWrite reports whether the state grants write permission.
+func (s CohState) CanWrite() bool { return s == Modified || s == Exclusive }
+
+// Dirty reports whether an eviction in this state must write back.
+func (s CohState) Dirty() bool { return s == Modified || s == Owned }

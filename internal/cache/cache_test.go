@@ -1,0 +1,405 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCohStateHelpers(t *testing.T) {
+	if Invalid.CanRead() || !Shared.CanRead() || !Modified.CanRead() {
+		t.Error("CanRead wrong")
+	}
+	if Shared.CanWrite() || Owned.CanWrite() || !Modified.CanWrite() || !Exclusive.CanWrite() {
+		t.Error("CanWrite wrong")
+	}
+	if Shared.Dirty() || Exclusive.Dirty() || !Modified.Dirty() || !Owned.Dirty() {
+		t.Error("Dirty wrong")
+	}
+	for _, s := range []CohState{Invalid, Shared, Exclusive, Owned, Modified} {
+		if s.String() == "" {
+			t.Error("empty state string")
+		}
+	}
+	if CohState(9).String() == "" {
+		t.Error("unknown state should still print")
+	}
+}
+
+func TestL1BasicHitMiss(t *testing.T) {
+	c := NewL1(4, 2)
+	if c.Access(0x100, false) {
+		t.Error("cold access should miss")
+	}
+	c.Insert(0x100, Shared)
+	if !c.Access(0x100, false) {
+		t.Error("read after insert should hit")
+	}
+	if c.Access(0x100, true) {
+		t.Error("write to Shared should be an upgrade miss")
+	}
+	c.SetState(0x100, Modified)
+	if !c.Access(0x100, true) {
+		t.Error("write to Modified should hit")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", c.Hits, c.Misses)
+	}
+}
+
+func TestL1LRUEviction(t *testing.T) {
+	c := NewL1(1, 2) // one set, 2 ways
+	c.Insert(1, Shared)
+	c.Insert(2, Shared)
+	c.Access(1, false) // make 2 the LRU
+	v, evicted := c.Insert(3, Shared)
+	if !evicted || v.Addr != 2 {
+		t.Errorf("expected to evict addr 2, got %+v evicted=%v", v, evicted)
+	}
+	if c.State(2) != Invalid || c.State(1) != Shared || c.State(3) != Shared {
+		t.Error("post-eviction states wrong")
+	}
+}
+
+func TestL1InsertExistingUpdatesState(t *testing.T) {
+	c := NewL1(2, 2)
+	c.Insert(4, Shared)
+	_, ev := c.Insert(4, Modified)
+	if ev {
+		t.Error("re-insert should not evict")
+	}
+	if c.State(4) != Modified {
+		t.Error("re-insert should update state")
+	}
+	if c.Occupancy() != 1 {
+		t.Error("duplicate lines created")
+	}
+}
+
+func TestL1InvalidateAndSetStatePanic(t *testing.T) {
+	c := NewL1(2, 2)
+	c.Insert(7, Owned)
+	if st := c.Invalidate(7); st != Owned {
+		t.Errorf("Invalidate returned %v, want O", st)
+	}
+	if st := c.Invalidate(7); st != Invalid {
+		t.Error("double invalidate should return Invalid")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetState on absent line should panic")
+		}
+	}()
+	c.SetState(7, Shared)
+}
+
+func TestL1BadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewL1(3, 2) // non power of two
+}
+
+func TestL1SetConflictsOnly(t *testing.T) {
+	c := NewL1(4, 1)
+	c.Insert(0, Shared)
+	c.Insert(1, Shared) // different set, no conflict
+	if c.Occupancy() != 2 {
+		t.Error("different sets should not conflict")
+	}
+	_, ev := c.Insert(4, Shared) // set 0 again (4 % 4 == 0)
+	if !ev {
+		t.Error("same-set insert should evict with 1 way")
+	}
+}
+
+func bankCfg() BankConfig {
+	return BankConfig{Sets: 8, Ways: 8, TagFactor: 2, SegmentBytes: 8, Interleave: 16}
+}
+
+func TestBankConfigValidate(t *testing.T) {
+	good := bankCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []BankConfig{
+		{Sets: 3, Ways: 8, TagFactor: 1, SegmentBytes: 8, Interleave: 1},
+		{Sets: 8, Ways: 0, TagFactor: 1, SegmentBytes: 8, Interleave: 1},
+		{Sets: 8, Ways: 8, TagFactor: 1, SegmentBytes: 7, Interleave: 1},
+		{Sets: 8, Ways: 8, TagFactor: 1, SegmentBytes: 8, Interleave: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBankInsertLookup(t *testing.T) {
+	b := NewBank(bankCfg())
+	l, v := b.Insert(16, 64, false)
+	if len(v) != 0 || l == nil {
+		t.Fatal("empty bank insert should not evict")
+	}
+	if l.Segs != 8 || l.SizeBytes != 64 {
+		t.Errorf("full line segs = %d", l.Segs)
+	}
+	if got := b.Lookup(16); got == nil {
+		t.Error("lookup after insert missed")
+	}
+	if b.Lookup(32) != nil {
+		t.Error("bogus lookup hit")
+	}
+	if b.Hits != 1 || b.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", b.Hits, b.Misses)
+	}
+}
+
+func TestBankCompressedCapacityGain(t *testing.T) {
+	// 17-byte lines (3 segments): a set fits floor(64/3)=21 lines but only
+	// 16 tags, so 16 lines per set; an uncompressed bank holds 8.
+	b := NewBank(bankCfg())
+	inserted := 0
+	for i := 0; ; i++ {
+		addr := Addr(16 * (i*8 + 0)) // same set: addr/16 % 8 == 0 => addr multiple of 128... use set 0
+		addr = Addr(uint64(i) * 16 * 8)
+		_, v := b.Insert(addr, 17, false)
+		if len(v) > 0 {
+			break
+		}
+		inserted++
+		if inserted > 64 {
+			t.Fatal("no eviction after 64 inserts — capacity accounting broken")
+		}
+	}
+	if inserted != 16 {
+		t.Errorf("compressed set held %d lines before eviction, want 16 (tag limit)", inserted)
+	}
+}
+
+func TestBankUncompressedCapacity(t *testing.T) {
+	cfg := bankCfg()
+	cfg.TagFactor = 1
+	b := NewBank(cfg)
+	inserted := 0
+	for i := 0; ; i++ {
+		_, v := b.Insert(Addr(uint64(i)*16*8), 64, false)
+		if len(v) > 0 {
+			break
+		}
+		inserted++
+		if inserted > 32 {
+			t.Fatal("no eviction")
+		}
+	}
+	if inserted != 8 {
+		t.Errorf("uncompressed set held %d lines, want 8", inserted)
+	}
+}
+
+func TestBankSegmentPressureEviction(t *testing.T) {
+	// Mix: 8 full lines fill all 64 segments with 8 tags used of 16; the
+	// 9th insert (even 1 segment) must evict by segment pressure.
+	b := NewBank(bankCfg())
+	for i := 0; i < 8; i++ {
+		if _, v := b.Insert(Addr(uint64(i)*16*8), 64, false); len(v) != 0 {
+			t.Fatal("premature eviction")
+		}
+	}
+	_, v := b.Insert(Addr(8*16*8), 8, false)
+	if len(v) != 1 {
+		t.Fatalf("segment-pressure insert evicted %d lines, want 1", len(v))
+	}
+}
+
+func TestBankLRUVictimOrder(t *testing.T) {
+	cfg := bankCfg()
+	cfg.TagFactor = 1
+	b := NewBank(cfg)
+	for i := 0; i < 8; i++ {
+		b.Insert(Addr(uint64(i)*16*8), 64, false)
+	}
+	b.Lookup(0) // refresh addr 0
+	_, v := b.Insert(Addr(8*16*8), 64, false)
+	if len(v) != 1 || v[0].Line.Addr != Addr(1*16*8) {
+		t.Errorf("victim = %+v, want addr %d", v, 16*8)
+	}
+}
+
+func TestBankPinnedLinesSkipped(t *testing.T) {
+	cfg := bankCfg()
+	cfg.TagFactor = 1
+	b := NewBank(cfg)
+	for i := 0; i < 8; i++ {
+		l, _ := b.Insert(Addr(uint64(i)*16*8), 64, false)
+		if i == 0 {
+			l.Pinned = true
+		}
+	}
+	_, v := b.Insert(Addr(8*16*8), 64, false)
+	if len(v) != 1 || v[0].Line.Addr == 0 {
+		t.Error("pinned LRU line must be skipped")
+	}
+}
+
+func TestBankResize(t *testing.T) {
+	b := NewBank(bankCfg())
+	b.Insert(0, 17, false)
+	if v := b.Resize(0, 9); len(v) != 0 {
+		t.Error("shrink should not evict")
+	}
+	if l := b.Peek(0); l.Segs != 2 || l.SizeBytes != 9 {
+		t.Errorf("after shrink segs=%d size=%d", l.Segs, l.SizeBytes)
+	}
+	// Fill all remaining segments (7 full lines + one 6-segment line),
+	// then grow line 0: must evict others.
+	for i := 1; i < 8; i++ {
+		b.Insert(Addr(uint64(i)*16*8), 64, false)
+	}
+	b.Insert(Addr(8*16*8), 48, false)
+	v := b.Resize(0, 64)
+	if len(v) == 0 {
+		t.Error("grow under pressure should evict")
+	}
+	if l := b.Peek(0); l == nil || l.Segs != 8 {
+		t.Error("grown line must survive with 8 segments")
+	}
+}
+
+func TestBankInvalidate(t *testing.T) {
+	b := NewBank(bankCfg())
+	l, _ := b.Insert(16, 64, true)
+	l.Owner = 3
+	cp, ok := b.Invalidate(16)
+	if !ok || cp.Owner != 3 || !cp.Dirty {
+		t.Error("Invalidate should return the full line copy")
+	}
+	if _, ok := b.Invalidate(16); ok {
+		t.Error("second invalidate should miss")
+	}
+}
+
+func TestBankDirectoryHelpers(t *testing.T) {
+	var l Line
+	l.Owner = -1
+	if l.HasSharers() {
+		t.Error("empty line has no sharers")
+	}
+	l.AddSharer(3)
+	l.AddSharer(10)
+	if !l.IsSharer(3) || !l.IsSharer(10) || l.IsSharer(4) {
+		t.Error("sharer bitmap wrong")
+	}
+	lst := l.SharerList()
+	if len(lst) != 2 || lst[0] != 3 || lst[1] != 10 {
+		t.Errorf("SharerList = %v", lst)
+	}
+	l.RemoveSharer(3)
+	if l.IsSharer(3) || !l.HasSharers() {
+		t.Error("RemoveSharer wrong")
+	}
+	l.RemoveSharer(10)
+	l.Owner = 5
+	if !l.HasSharers() {
+		t.Error("owner counts as sharer presence")
+	}
+}
+
+func TestBankInsertDuplicatePanics(t *testing.T) {
+	b := NewBank(bankCfg())
+	b.Insert(16, 64, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert should panic")
+		}
+	}()
+	b.Insert(16, 64, false)
+}
+
+func TestBankSegsForBounds(t *testing.T) {
+	b := NewBank(bankCfg())
+	defer func() {
+		if recover() == nil {
+			t.Error("size 0 should panic")
+		}
+	}()
+	b.Insert(16, 0, false)
+}
+
+// Property: a bank never exceeds its segment or tag budget, and lookups
+// after insert always hit until evicted.
+func TestBankInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBank(bankCfg())
+		live := map[Addr]bool{}
+		for i := 0; i < 300; i++ {
+			addr := Addr(uint64(rng.Intn(64)) * 16)
+			switch rng.Intn(3) {
+			case 0:
+				if b.Peek(addr) == nil {
+					size := 1 + rng.Intn(64)
+					_, vs := b.Insert(addr, size, rng.Intn(2) == 0)
+					for _, v := range vs {
+						delete(live, v.Line.Addr)
+					}
+					live[addr] = true
+				}
+			case 1:
+				if b.Peek(addr) != nil {
+					vs := b.Resize(addr, 1+rng.Intn(64))
+					for _, v := range vs {
+						delete(live, v.Line.Addr)
+					}
+				}
+			default:
+				if _, ok := b.Invalidate(addr); ok {
+					delete(live, addr)
+				}
+			}
+			// Invariants per set.
+			for si := 0; si < 8; si++ {
+				segs, lines := 0, 0
+				for a := range live {
+					if l := b.Peek(a); l != nil && b.setIndex(a) == si {
+						segs += l.Segs
+						lines++
+					}
+				}
+				if segs > 64 || lines > 16 {
+					return false
+				}
+			}
+		}
+		// All tracked-live lines must be present.
+		for a := range live {
+			if b.Peek(a) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachIteration(t *testing.T) {
+	c := NewL1(4, 2)
+	c.Insert(1, Shared)
+	c.Insert(9, Modified)
+	seen := map[Addr]CohState{}
+	c.ForEach(func(a Addr, st CohState) { seen[a] = st })
+	if len(seen) != 2 || seen[1] != Shared || seen[9] != Modified {
+		t.Errorf("ForEach saw %v", seen)
+	}
+	b := NewBank(bankCfg())
+	b.Insert(16, 17, true)
+	n := 0
+	b.ForEach(func(l *Line) { n++ })
+	if n != 1 {
+		t.Errorf("bank ForEach saw %d lines", n)
+	}
+}

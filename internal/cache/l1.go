@@ -1,0 +1,166 @@
+package cache
+
+import "fmt"
+
+// l1Line is one L1 tag entry.
+type l1Line struct {
+	addr  Addr
+	state CohState
+	lru   uint64
+}
+
+// L1 is a private, uncompressed, set-associative L1 data cache with true
+// LRU replacement (Table 2: 32 KB, 4-way, 64 B lines).
+type L1 struct {
+	sets   int
+	ways   int
+	lines  [][]l1Line
+	clock  uint64
+	Hits   uint64
+	Misses uint64
+}
+
+// NewL1 builds an L1 with the given geometry. sets must be a power of two.
+func NewL1(sets, ways int) *L1 {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: bad L1 geometry %dx%d", sets, ways))
+	}
+	c := &L1{sets: sets, ways: ways, lines: make([][]l1Line, sets)}
+	for i := range c.lines {
+		c.lines[i] = make([]l1Line, ways)
+	}
+	return c
+}
+
+// set returns the set index for addr.
+func (c *L1) set(addr Addr) int { return int(uint64(addr) & uint64(c.sets-1)) }
+
+// find returns the way holding addr, or -1.
+func (c *L1) find(addr Addr) int {
+	s := c.lines[c.set(addr)]
+	for w := range s {
+		if s[w].state != Invalid && s[w].addr == addr {
+			return w
+		}
+	}
+	return -1
+}
+
+// State returns the line's coherence state (Invalid if absent).
+func (c *L1) State(addr Addr) CohState {
+	if w := c.find(addr); w >= 0 {
+		return c.lines[c.set(addr)][w].state
+	}
+	return Invalid
+}
+
+// Access performs a lookup, updating LRU and hit/miss counters. It reports
+// whether the access hits with sufficient permission for the operation.
+func (c *L1) Access(addr Addr, write bool) bool {
+	c.clock++
+	w := c.find(addr)
+	if w < 0 {
+		c.Misses++
+		return false
+	}
+	line := &c.lines[c.set(addr)][w]
+	if write && !line.state.CanWrite() {
+		c.Misses++ // upgrade miss
+		return false
+	}
+	line.lru = c.clock
+	c.Hits++
+	return true
+}
+
+// Touch refreshes LRU without counting a hit or miss.
+func (c *L1) Touch(addr Addr) {
+	c.clock++
+	if w := c.find(addr); w >= 0 {
+		c.lines[c.set(addr)][w].lru = c.clock
+	}
+}
+
+// SetState transitions the line's state; it panics if the line is absent
+// (protocol bug). Transition to Invalid removes the line.
+func (c *L1) SetState(addr Addr, st CohState) {
+	w := c.find(addr)
+	if w < 0 {
+		panic(fmt.Sprintf("cache: SetState(%x) on absent line", uint64(addr)))
+	}
+	c.lines[c.set(addr)][w].state = st
+}
+
+// Invalidate drops the line if present and returns its previous state.
+func (c *L1) Invalidate(addr Addr) CohState {
+	w := c.find(addr)
+	if w < 0 {
+		return Invalid
+	}
+	line := &c.lines[c.set(addr)][w]
+	st := line.state
+	line.state = Invalid
+	return st
+}
+
+// Victim describes an evicted line.
+type Victim struct {
+	Addr  Addr
+	State CohState
+}
+
+// Insert fills addr in state st, returning the evicted victim if any. The
+// caller must already have established coherence permission.
+func (c *L1) Insert(addr Addr, st CohState) (Victim, bool) {
+	if st == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	c.clock++
+	s := c.lines[c.set(addr)]
+	if w := c.find(addr); w >= 0 {
+		s[w].state = st
+		s[w].lru = c.clock
+		return Victim{}, false
+	}
+	// Free way?
+	for w := range s {
+		if s[w].state == Invalid {
+			s[w] = l1Line{addr: addr, state: st, lru: c.clock}
+			return Victim{}, false
+		}
+	}
+	// Evict LRU.
+	vw := 0
+	for w := 1; w < c.ways; w++ {
+		if s[w].lru < s[vw].lru {
+			vw = w
+		}
+	}
+	v := Victim{Addr: s[vw].addr, State: s[vw].state}
+	s[vw] = l1Line{addr: addr, state: st, lru: c.clock}
+	return v, true
+}
+
+// Occupancy returns the number of valid lines (for tests/diagnostics).
+func (c *L1) Occupancy() int {
+	n := 0
+	for _, s := range c.lines {
+		for _, l := range s {
+			if l.state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEach calls f for every valid line (diagnostics/invariant checking).
+func (c *L1) ForEach(f func(Addr, CohState)) {
+	for _, s := range c.lines {
+		for i := range s {
+			if s[i].state != Invalid {
+				f(s[i].addr, s[i].state)
+			}
+		}
+	}
+}

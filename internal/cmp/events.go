@@ -1,0 +1,49 @@
+package cmp
+
+import "container/heap"
+
+// event is a closure scheduled for a future cycle.
+type event struct {
+	cycle uint64
+	seq   uint64 // FIFO tie-break for determinism
+	fn    func()
+}
+
+// eventQueue is a deterministic min-heap of events.
+type eventQueue struct {
+	items []event
+	seq   uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].cycle != q.items[j].cycle {
+		return q.items[i].cycle < q.items[j].cycle
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *eventQueue) Push(x interface{}) {
+	q.items = append(q.items, x.(event))
+}
+func (q *eventQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// schedule enqueues fn at the given cycle.
+func (q *eventQueue) schedule(cycle uint64, fn func()) {
+	q.seq++
+	heap.Push(q, event{cycle: cycle, seq: q.seq, fn: fn})
+}
+
+// runDue executes every event due at or before cycle, in order.
+func (q *eventQueue) runDue(cycle uint64) {
+	for q.Len() > 0 && q.items[0].cycle <= cycle {
+		ev := heap.Pop(q).(event)
+		ev.fn()
+	}
+}

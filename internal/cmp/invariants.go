@@ -1,0 +1,94 @@
+package cmp
+
+import (
+	"fmt"
+
+	"github.com/disco-sim/disco/internal/cache"
+)
+
+// CheckInvariants walks the whole memory system and reports coherence
+// violations. It is meaningful when the system is quiescent (no packets
+// in flight, no pending events): the protocol tolerates transient
+// staleness (silent S evictions, writebacks in flight), but at rest the
+// following must hold:
+//
+//  1. single-writer: at most one L1 holds a line in M or E;
+//  2. inclusion: every valid L1 line is present in its home LLC bank;
+//  3. write permission is registered: an L1 in M/E/O is the directory
+//     owner of the line;
+//  4. no line is left pinned (all transactions completed).
+//
+// It returns all violations found (empty = clean).
+func (s *System) CheckInvariants() []string {
+	var out []string
+	tiles := s.cfg.tiles()
+
+	type holder struct {
+		tile int
+		st   cache.CohState
+	}
+	holders := make(map[cache.Addr][]holder)
+	for tile := 0; tile < tiles; tile++ {
+		s.forEachL1Line(tile, func(addr cache.Addr, st cache.CohState) {
+			holders[addr] = append(holders[addr], holder{tile, st})
+		})
+	}
+	for addr, hs := range holders {
+		writers := 0
+		for _, h := range hs {
+			if h.st == cache.Modified || h.st == cache.Exclusive {
+				writers++
+			}
+		}
+		if writers > 1 {
+			out = append(out, fmt.Sprintf("line %x: %d simultaneous M/E holders", uint64(addr), writers))
+		}
+		home := s.homeOf(addr)
+		line := s.banks[home].Peek(addr)
+		if line == nil {
+			out = append(out, fmt.Sprintf("line %x: cached in L1 but absent from LLC (inclusion)", uint64(addr)))
+			continue
+		}
+		for _, h := range hs {
+			if (h.st == cache.Modified || h.st == cache.Exclusive || h.st == cache.Owned) &&
+				line.Owner != h.tile {
+				out = append(out, fmt.Sprintf("line %x: tile %d holds %v but directory owner is %d",
+					uint64(addr), h.tile, h.st, line.Owner))
+			}
+		}
+	}
+	for tile := 0; tile < tiles; tile++ {
+		s.forEachBankLine(tile, func(l *cache.Line) {
+			if l.Pinned {
+				out = append(out, fmt.Sprintf("line %x: still pinned at home %d", uint64(l.Addr), tile))
+			}
+		})
+		if len(s.txns[tile]) != 0 {
+			out = append(out, fmt.Sprintf("home %d: %d transactions outstanding", tile, len(s.txns[tile])))
+		}
+	}
+	return out
+}
+
+// forEachL1Line iterates valid lines of one L1.
+func (s *System) forEachL1Line(tile int, f func(cache.Addr, cache.CohState)) {
+	s.l1s[tile].ForEach(f)
+}
+
+// forEachBankLine iterates valid lines of one bank.
+func (s *System) forEachBankLine(tile int, f func(*cache.Line)) {
+	s.banks[tile].ForEach(f)
+}
+
+// Drain steps the system until the network and event queue are empty or
+// the budget runs out; returns true when fully quiescent. Combine with
+// CheckInvariants for end-of-run validation.
+func (s *System) Drain(budget uint64) bool {
+	for i := uint64(0); i < budget; i++ {
+		if s.net.Quiescent() && s.events.Len() == 0 {
+			return true
+		}
+		s.Step()
+	}
+	return s.net.Quiescent() && s.events.Len() == 0
+}

@@ -1,0 +1,76 @@
+package compress
+
+// bitWriter packs MSB-first bit fields into a byte slice. FPC, C-Pack and
+// the Huffman (SC²) coder all emit variable-width fields, which is exactly
+// what the corresponding hardware shifters do.
+type bitWriter struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// writeBits appends the low n bits of v, MSB first. n must be in [0, 64].
+func (w *bitWriter) writeBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic("compress: writeBits width out of range")
+	}
+	for i := n - 1; i >= 0; i-- {
+		bit := byte(v>>uint(i)) & 1
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if bit != 0 {
+			w.buf[w.nbit/8] |= 0x80 >> uint(w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// bits returns the number of bits written so far.
+func (w *bitWriter) bits() int { return w.nbit }
+
+// bytes returns the backing buffer (last byte possibly partial).
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader reads MSB-first bit fields written by bitWriter.
+type bitReader struct {
+	buf []byte
+	pos int // bit cursor
+}
+
+// readBits reads n bits MSB-first. ok is false on underrun.
+func (r *bitReader) readBits(n int) (v uint64, ok bool) {
+	if n < 0 || n > 64 || r.pos+n > 8*len(r.buf) {
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		b := r.buf[r.pos/8]
+		bit := (b >> uint(7-r.pos%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, true
+}
+
+// readBit reads a single bit.
+func (r *bitReader) readBit() (uint64, bool) { return r.readBits(1) }
+
+// remaining reports how many unread bits are left.
+func (r *bitReader) remaining() int { return 8*len(r.buf) - r.pos }
+
+// signExtend interprets the low n bits of v as a two's-complement signed
+// value and widens it to 64 bits.
+func signExtend(v uint64, n int) int64 {
+	shift := uint(64 - n)
+	return int64(v<<shift) >> shift
+}
+
+// fitsSigned reports whether x is representable as an n-bit two's
+// complement value.
+func fitsSigned(x int64, n int) bool {
+	if n >= 64 {
+		return true
+	}
+	lo := -(int64(1) << uint(n-1))
+	hi := int64(1)<<uint(n-1) - 1
+	return x >= lo && x <= hi
+}

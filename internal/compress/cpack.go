@@ -1,0 +1,199 @@
+package compress
+
+// CPack implements C-Pack (Chen et al., IEEE TVLSI 2010, the paper's
+// reference [4]): each 32-bit word is matched against static frequent
+// patterns and against a small FIFO dictionary of recently seen words,
+// so both value locality within the line and partial matches are
+// exploited. Table 1 of the DISCO paper lists C-Pack at 8-cycle
+// decompression.
+//
+// Per-word codes (from the C-Pack paper, Table I):
+//
+//	zzzz 00               zero word
+//	xxxx 01   +32 bits    uncompressed, pushed into the dictionary
+//	mmmm 10   +4 bits     full dictionary match (index)
+//	mmxx 1100 +4+16 bits  dict match on upper 2 bytes, lower 2 explicit; pushed
+//	zzzx 1101 +8 bits     three zero bytes + one explicit low byte
+//	mmmx 1110 +4+8 bits   dict match on upper 3 bytes, low byte explicit; pushed
+//
+// The dictionary is reset per block so every block stays independently
+// decompressible (the hardware compresses paired lines; per-block reset is
+// the conservative simplification and is noted in DESIGN.md).
+type CPack struct{}
+
+// NewCPack returns a C-Pack compressor.
+func NewCPack() *CPack { return &CPack{} }
+
+// Name implements Algorithm.
+func (*CPack) Name() string { return "cpack" }
+
+// CompLatency implements Algorithm (2 words/cycle over 16 words).
+func (*CPack) CompLatency() int { return 8 }
+
+// DecompLatency implements Algorithm (Table 1: 8 cycles).
+func (*CPack) DecompLatency() int { return 8 }
+
+// cpackDictSize is the FIFO dictionary depth (16 entries, 4-bit index).
+const cpackDictSize = 16
+
+// cpackDict is the FIFO replacement dictionary shared (in structure) by
+// compressor and decompressor.
+type cpackDict struct {
+	entries [cpackDictSize]uint32
+	n       int // valid entries
+	next    int // FIFO insertion cursor
+}
+
+// push inserts a word FIFO-style.
+func (d *cpackDict) push(w uint32) {
+	d.entries[d.next] = w
+	d.next = (d.next + 1) % cpackDictSize
+	if d.n < cpackDictSize {
+		d.n++
+	}
+}
+
+// match scans for the best match, preferring full over 3-byte over 2-byte.
+// kind: 0 none, 2 upper-2-byte, 3 upper-3-byte, 4 full.
+func (d *cpackDict) match(w uint32) (idx, kind int) {
+	best := 0
+	bestIdx := -1
+	for i := 0; i < d.n; i++ {
+		e := d.entries[i]
+		var k int
+		switch {
+		case e == w:
+			k = 4
+		case e>>8 == w>>8:
+			k = 3
+		case e>>16 == w>>16:
+			k = 2
+		}
+		if k > best {
+			best, bestIdx = k, i
+		}
+	}
+	return bestIdx, best
+}
+
+// Compress implements Algorithm.
+func (a *CPack) Compress(block []byte) Compressed {
+	checkBlock(block)
+	ws := words32(block)
+	var w bitWriter
+	var dict cpackDict
+	for _, word := range ws {
+		if word == 0 {
+			w.writeBits(0b00, 2)
+			continue
+		}
+		idx, kind := dict.match(word)
+		switch {
+		case kind == 4:
+			w.writeBits(0b10, 2)
+			w.writeBits(uint64(idx), 4)
+		case kind == 3:
+			w.writeBits(0b1110, 4)
+			w.writeBits(uint64(idx), 4)
+			w.writeBits(uint64(word)&0xFF, 8)
+			dict.push(word)
+		case word&0xFFFFFF00 == 0:
+			w.writeBits(0b1101, 4)
+			w.writeBits(uint64(word)&0xFF, 8)
+		case kind == 2:
+			w.writeBits(0b1100, 4)
+			w.writeBits(uint64(idx), 4)
+			w.writeBits(uint64(word)&0xFFFF, 16)
+			dict.push(word)
+		default:
+			w.writeBits(0b01, 2)
+			w.writeBits(uint64(word), 32)
+			dict.push(word)
+		}
+	}
+	if w.bits() >= 8*BlockSize {
+		return stored(a.Name(), block)
+	}
+	return Compressed{Alg: a.Name(), SizeBits: w.bits(), Payload: w.bytes()}
+}
+
+// Decompress implements Algorithm.
+func (a *CPack) Decompress(c Compressed) ([]byte, error) {
+	if c.Stored {
+		return storedRoundTrip(c)
+	}
+	r := bitReader{buf: c.Payload}
+	var dict cpackDict
+	out := make([]byte, 0, BlockSize)
+	for i := 0; i < BlockSize/WordSize; i++ {
+		b0, ok := r.readBit()
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		if b0 == 0 {
+			b1, ok := r.readBit()
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			if b1 == 0 { // 00 zzzz
+				out = appendWord(out, 0)
+				continue
+			}
+			// 01 xxxx
+			v, ok := r.readBits(32)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			word := uint32(v)
+			dict.push(word)
+			out = appendWord(out, word)
+			continue
+		}
+		b1, ok := r.readBit()
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		if b1 == 0 { // 10 mmmm
+			idx, ok := r.readBits(4)
+			if !ok || int(idx) >= dict.n {
+				return nil, ErrCorrupt
+			}
+			out = appendWord(out, dict.entries[idx])
+			continue
+		}
+		// 11xx extended codes
+		ext, ok := r.readBits(2)
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		switch ext {
+		case 0b00: // mmxx
+			idx, ok1 := r.readBits(4)
+			low, ok2 := r.readBits(16)
+			if !ok1 || !ok2 || int(idx) >= dict.n {
+				return nil, ErrCorrupt
+			}
+			word := dict.entries[idx]&0xFFFF0000 | uint32(low)
+			dict.push(word)
+			out = appendWord(out, word)
+		case 0b01: // zzzx
+			low, ok := r.readBits(8)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			out = appendWord(out, uint32(low))
+		case 0b10: // mmmx
+			idx, ok1 := r.readBits(4)
+			low, ok2 := r.readBits(8)
+			if !ok1 || !ok2 || int(idx) >= dict.n {
+				return nil, ErrCorrupt
+			}
+			word := dict.entries[idx]&0xFFFFFF00 | uint32(low)
+			dict.push(word)
+			out = appendWord(out, word)
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	return out, nil
+}

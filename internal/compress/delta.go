@@ -1,0 +1,333 @@
+package compress
+
+import "encoding/binary"
+
+// Delta implements the paper's delta-based compressor (Section 3.2,
+// Fig. 4): a 64-byte block is viewed as eight 8-byte flits; flit 0 is kept
+// as the explicit base BF0, a zero flit is the second, implicit base, and
+// each remaining flit is stored as a signed delta against whichever base
+// yields a representable difference. Multiple compressor units try delta
+// widths of 1, 2 and 4 bytes and the selection logic keeps the smallest
+// result ("compressor selection logic", Fig. 4a).
+//
+// Latencies follow Table 2 of the paper: 1-cycle compression, 3-cycle
+// decompression.
+type Delta struct{}
+
+// NewDelta returns the paper's delta compressor.
+func NewDelta() *Delta { return &Delta{} }
+
+// Name implements Algorithm.
+func (*Delta) Name() string { return "delta" }
+
+// CompLatency implements Algorithm (Table 2: 1 cycle).
+func (*Delta) CompLatency() int { return 1 }
+
+// DecompLatency implements Algorithm (Table 2: 3 cycles).
+func (*Delta) DecompLatency() int { return 3 }
+
+// deltaFlits is the number of delta-encoded flits (all but the base).
+const deltaFlits = BlockSize/FlitBytes - 1
+
+// deltaHeaderBits is the per-block metadata: a 2-bit delta-width code plus
+// a 7-bit base-select bitmap (one bit per non-base flit).
+const deltaHeaderBits = 2 + deltaFlits
+
+// deltaSizeBits returns the encoded size for delta width d bytes.
+func deltaSizeBits(d int) int { return deltaHeaderBits + 8*FlitBytes + deltaFlits*8*d }
+
+// deltaPlan captures one feasible encoding: the delta width and which base
+// each non-base flit uses (bit i set = flit i+1 uses the zero base).
+type deltaPlan struct {
+	width   int
+	zeroSel uint8
+	deltas  [deltaFlits]int64
+}
+
+// planDelta tries to encode flits with width-d deltas. ok is false when
+// some flit fits neither base.
+func planDelta(flits *[BlockSize / FlitBytes]uint64, d int) (deltaPlan, bool) {
+	p := deltaPlan{width: d}
+	bits := 8 * d
+	for i := 0; i < deltaFlits; i++ {
+		dBase := int64(flits[i+1] - flits[0]) // two's-complement wraparound is intended
+		dZero := int64(flits[i+1])
+		switch {
+		case fitsSigned(dZero, bits):
+			// Prefer the zero base on ties: an all-zero block then encodes
+			// with an all-zero delta vector regardless of BF0.
+			p.zeroSel |= 1 << uint(i)
+			p.deltas[i] = dZero
+		case fitsSigned(dBase, bits):
+			p.deltas[i] = dBase
+		default:
+			return deltaPlan{}, false
+		}
+	}
+	return p, true
+}
+
+// halfDeltaElems is the element count at 4-byte ("zero half-flit", §3.2)
+// granularity.
+const halfDeltaElems = BlockSize / 4
+
+// halfDeltaSizeBits returns the encoded size of the 4-byte-granularity
+// unit with width-d deltas: 2-bit unit/width code, a bit of base select
+// per element, a 4-byte base, and 15 deltas.
+func halfDeltaSizeBits(d int) int {
+	return 2 + (halfDeltaElems - 1) + 8*4 + (halfDeltaElems-1)*8*d
+}
+
+// planHalfDelta tries the 4-byte-granularity unit (base = first 4-byte
+// element or zero) with width-d deltas.
+func planHalfDelta(block []byte, d int) (zeroSel uint16, deltas [halfDeltaElems - 1]int32, ok bool) {
+	bits := 8 * d
+	var elems [halfDeltaElems]uint32
+	for i := range elems {
+		elems[i] = uint32(block[i*4]) | uint32(block[i*4+1])<<8 |
+			uint32(block[i*4+2])<<16 | uint32(block[i*4+3])<<24
+	}
+	for i := 0; i < halfDeltaElems-1; i++ {
+		dBase := int64(int32(elems[i+1] - elems[0]))
+		dZero := int64(int32(elems[i+1]))
+		switch {
+		case fitsSigned(dZero, bits):
+			zeroSel |= 1 << uint(i)
+			deltas[i] = int32(dZero)
+		case fitsSigned(dBase, bits):
+			deltas[i] = int32(dBase)
+		default:
+			return 0, deltas, false
+		}
+	}
+	return zeroSel, deltas, true
+}
+
+// Compress implements Algorithm. The "multiple compressor units" of
+// Fig. 4 are tried in parallel — 8-byte flit granularity with Δ ∈
+// {1,2,4} and 4-byte half-flit granularity with Δ ∈ {1,2} — and the
+// selection logic keeps the smallest encoding.
+func (a *Delta) Compress(block []byte) Compressed {
+	checkBlock(block)
+	flits := words64(block)
+	best := Compressed{SizeBits: 8 * BlockSize}
+	found := false
+	for _, d := range []int{1, 2, 4} {
+		plan, ok := planDelta(&flits, d)
+		if !ok {
+			continue
+		}
+		if size := deltaSizeBits(d); size < best.SizeBits {
+			best = Compressed{Alg: a.Name(), SizeBits: size, Payload: encodeDelta(&flits, plan)}
+			found = true
+		}
+		break // wider 8B deltas only get bigger
+	}
+	for _, d := range []int{1, 2} {
+		zeroSel, deltas, ok := planHalfDelta(block, d)
+		if !ok {
+			continue
+		}
+		if size := halfDeltaSizeBits(d); size < best.SizeBits {
+			best = Compressed{Alg: a.Name(), SizeBits: size,
+				Payload: encodeHalfDelta(block, d, zeroSel, deltas)}
+			found = true
+		}
+		break
+	}
+	if found {
+		return best
+	}
+	return stored(a.Name(), block)
+}
+
+// encodeHalfDelta lays out the 4-byte-granularity unit: marker 0xF0|width,
+// 2-byte base-select bitmap, 4-byte base, then the deltas.
+func encodeHalfDelta(block []byte, width int, zeroSel uint16, deltas [halfDeltaElems - 1]int32) []byte {
+	out := make([]byte, 0, 7+(halfDeltaElems-1)*width)
+	out = append(out, byte(0xF0|width), byte(zeroSel), byte(zeroSel>>8))
+	out = append(out, block[0], block[1], block[2], block[3])
+	for i := 0; i < halfDeltaElems-1; i++ {
+		v := uint32(deltas[i])
+		for b := 0; b < width; b++ {
+			out = append(out, byte(v>>uint(8*b)))
+		}
+	}
+	return out
+}
+
+// encodeDelta lays the plan out as bytes: width, base-select bitmap, base
+// flit, then the deltas (little-endian, plan.width bytes each).
+func encodeDelta(flits *[BlockSize / FlitBytes]uint64, p deltaPlan) []byte {
+	out := make([]byte, 0, 2+FlitBytes+deltaFlits*p.width)
+	out = append(out, byte(p.width), p.zeroSel)
+	out = binary.LittleEndian.AppendUint64(out, flits[0])
+	for i := 0; i < deltaFlits; i++ {
+		v := uint64(p.deltas[i])
+		for b := 0; b < p.width; b++ {
+			out = append(out, byte(v>>uint(8*b)))
+		}
+	}
+	return out
+}
+
+// Decompress implements Algorithm.
+func (a *Delta) Decompress(c Compressed) ([]byte, error) {
+	if c.Stored {
+		return storedRoundTrip(c)
+	}
+	if len(c.Payload) >= 1 && c.Payload[0]&0xF0 == 0xF0 {
+		return decodeHalfDelta(c.Payload)
+	}
+	if len(c.Payload) < 2+FlitBytes {
+		return nil, ErrCorrupt
+	}
+	width := int(c.Payload[0])
+	if width != 1 && width != 2 && width != 4 {
+		return nil, ErrCorrupt
+	}
+	if len(c.Payload) != 2+FlitBytes+deltaFlits*width {
+		return nil, ErrCorrupt
+	}
+	zeroSel := c.Payload[1]
+	base := binary.LittleEndian.Uint64(c.Payload[2:])
+	out := make([]byte, BlockSize)
+	binary.LittleEndian.PutUint64(out, base)
+	pos := 2 + FlitBytes
+	for i := 0; i < deltaFlits; i++ {
+		var raw uint64
+		for b := 0; b < width; b++ {
+			raw |= uint64(c.Payload[pos+b]) << uint(8*b)
+		}
+		pos += width
+		d := signExtend(raw, 8*width)
+		v := uint64(d)
+		if zeroSel&(1<<uint(i)) == 0 {
+			v += base
+		}
+		binary.LittleEndian.PutUint64(out[(i+1)*FlitBytes:], v)
+	}
+	return out, nil
+}
+
+// decodeHalfDelta reverses encodeHalfDelta.
+func decodeHalfDelta(p []byte) ([]byte, error) {
+	width := int(p[0] & 0x0F)
+	if width != 1 && width != 2 {
+		return nil, ErrCorrupt
+	}
+	if len(p) != 7+(halfDeltaElems-1)*width {
+		return nil, ErrCorrupt
+	}
+	zeroSel := uint16(p[1]) | uint16(p[2])<<8
+	base := uint32(p[3]) | uint32(p[4])<<8 | uint32(p[5])<<16 | uint32(p[6])<<24
+	out := make([]byte, BlockSize)
+	out[0], out[1], out[2], out[3] = p[3], p[4], p[5], p[6]
+	pos := 7
+	for i := 0; i < halfDeltaElems-1; i++ {
+		var raw uint32
+		for b := 0; b < width; b++ {
+			raw |= uint32(p[pos+b]) << uint(8*b)
+		}
+		pos += width
+		d := uint32(signExtend(uint64(raw), 8*width))
+		v := d
+		if zeroSel&(1<<uint(i)) == 0 {
+			v += base
+		}
+		off := (i + 1) * 4
+		out[off] = byte(v)
+		out[off+1] = byte(v >> 8)
+		out[off+2] = byte(v >> 16)
+		out[off+3] = byte(v >> 24)
+	}
+	return out, nil
+}
+
+// IncrementalDelta is the "separate compression" engine of Section 3.3A:
+// under wormhole flow control a packet's flits may arrive at a router in
+// fragments, and DISCO compresses each fragment as it arrives, keeping the
+// two bases (BF0 and the zero flit) in base registers between fragments.
+// Because future flits are unknown, the hardware commits to the 1-byte
+// delta width up front; a flit that does not fit either base aborts the
+// whole compression (the packet travels uncompressed).
+//
+// The paper notes that naive separate compression leaves "zero bubbles" in
+// buffer entries; DISCO's merge logic concatenates fragment outputs
+// bubble-free. MergedSizeBits reports the bubble-free size (identical to
+// whole-packet Δ1 compression) while FragmentPaddedBits reports the
+// bubble-padded cost a merge-less design would pay.
+type IncrementalDelta struct {
+	base     uint64
+	haveBase bool
+	absorbed int   // flits absorbed so far (including the base)
+	fragBits []int // raw output bits per fragment
+	failed   bool
+}
+
+// NewIncrementalDelta returns an engine ready for the first fragment.
+func NewIncrementalDelta() *IncrementalDelta { return &IncrementalDelta{} }
+
+// Absorb feeds the next fragment of 8-byte flit payloads, in packet order.
+// It returns false (and latches failure) if any flit fits neither base at
+// the committed 1-byte width.
+func (s *IncrementalDelta) Absorb(flits []uint64) bool {
+	if s.failed {
+		return false
+	}
+	bits := 0
+	for _, f := range flits {
+		if s.absorbed >= BlockSize/FlitBytes {
+			panic("compress: IncrementalDelta absorbed more than one block")
+		}
+		if !s.haveBase {
+			s.base, s.haveBase = f, true
+			s.absorbed++
+			bits += 8 * FlitBytes // base stored raw
+			continue
+		}
+		dBase := int64(f - s.base)
+		dZero := int64(f)
+		if !fitsSigned(dZero, 8) && !fitsSigned(dBase, 8) {
+			s.failed = true
+			return false
+		}
+		s.absorbed++
+		bits += 8 // one 1-byte delta
+	}
+	if bits > 0 {
+		s.fragBits = append(s.fragBits, bits)
+	}
+	return true
+}
+
+// Failed reports whether compression was aborted.
+func (s *IncrementalDelta) Failed() bool { return s.failed }
+
+// Done reports whether a full block has been absorbed successfully.
+func (s *IncrementalDelta) Done() bool {
+	return !s.failed && s.absorbed == BlockSize/FlitBytes
+}
+
+// Absorbed returns the number of flits absorbed so far.
+func (s *IncrementalDelta) Absorbed() int { return s.absorbed }
+
+// MergedSizeBits is the bubble-free compressed size after DISCO's fragment
+// merging, header included. Only meaningful once Done.
+func (s *IncrementalDelta) MergedSizeBits() int {
+	if !s.Done() {
+		return 8 * BlockSize
+	}
+	return deltaSizeBits(1)
+}
+
+// FragmentPaddedBits is the cost without merge hardware: each fragment's
+// output is padded up to whole 8-byte flit entries, leaving zero bubbles.
+func (s *IncrementalDelta) FragmentPaddedBits() int {
+	total := 0
+	for _, b := range s.fragBits {
+		flitBits := 8 * FlitBytes
+		total += (b + flitBits - 1) / flitBits * flitBits
+	}
+	return total + deltaHeaderBits
+}

@@ -1,0 +1,273 @@
+package compress
+
+// FPC implements Frequent Pattern Compression (Alameldeen & Wood, the
+// paper's reference [2]): each 32-bit word is matched against a small set
+// of frequent patterns and replaced by a 3-bit prefix plus the pattern's
+// residual bits. Runs of zero words collapse into a single prefix with a
+// 3-bit run length. Table 1 of the DISCO paper lists FPC at 5-cycle
+// decompression, ≈1.5× ratio.
+//
+// Prefixes (per the original FPC paper):
+//
+//	000 run of 1–8 zero words       (+3 bits run length)
+//	001 4-bit sign-extended         (+4 bits)
+//	010 8-bit sign-extended         (+8 bits)
+//	011 16-bit sign-extended        (+16 bits)
+//	100 16-bit padded with zeros    (+16 bits: the nonzero upper halfword)
+//	101 two halfwords, each an 8-bit sign-extended value (+16 bits)
+//	110 word of repeated bytes      (+8 bits)
+//	111 uncompressed                (+32 bits)
+type FPC struct{}
+
+// NewFPC returns an FPC compressor.
+func NewFPC() *FPC { return &FPC{} }
+
+// Name implements Algorithm.
+func (*FPC) Name() string { return "fpc" }
+
+// CompLatency implements Algorithm (pattern match + pack pipeline).
+func (*FPC) CompLatency() int { return 3 }
+
+// DecompLatency implements Algorithm (Table 1: 5 cycles).
+func (*FPC) DecompLatency() int { return 5 }
+
+const (
+	fpcZeroRun   = 0
+	fpcSE4       = 1
+	fpcSE8       = 2
+	fpcSE16      = 3
+	fpcPadded16  = 4
+	fpcTwoHalf   = 5
+	fpcRepByte   = 6
+	fpcUncompact = 7
+)
+
+// Compress implements Algorithm.
+func (a *FPC) Compress(block []byte) Compressed {
+	checkBlock(block)
+	ws := words32(block)
+	var w bitWriter
+	for i := 0; i < len(ws); {
+		if ws[i] == 0 {
+			run := 1
+			for i+run < len(ws) && ws[i+run] == 0 && run < 8 {
+				run++
+			}
+			w.writeBits(fpcZeroRun, 3)
+			w.writeBits(uint64(run-1), 3)
+			i += run
+			continue
+		}
+		word := ws[i]
+		se := int64(int32(word))
+		switch {
+		case fitsSigned(se, 4):
+			w.writeBits(fpcSE4, 3)
+			w.writeBits(uint64(word)&0xF, 4)
+		case fitsSigned(se, 8):
+			w.writeBits(fpcSE8, 3)
+			w.writeBits(uint64(word)&0xFF, 8)
+		case fitsSigned(se, 16):
+			w.writeBits(fpcSE16, 3)
+			w.writeBits(uint64(word)&0xFFFF, 16)
+		case word&0xFFFF == 0:
+			w.writeBits(fpcPadded16, 3)
+			w.writeBits(uint64(word>>16), 16)
+		case halfIsSE8(uint16(word>>16)) && halfIsSE8(uint16(word)):
+			w.writeBits(fpcTwoHalf, 3)
+			w.writeBits(uint64(word>>16)&0xFF, 8)
+			w.writeBits(uint64(word)&0xFF, 8)
+		case isRepByte(word):
+			w.writeBits(fpcRepByte, 3)
+			w.writeBits(uint64(word)&0xFF, 8)
+		default:
+			w.writeBits(fpcUncompact, 3)
+			w.writeBits(uint64(word), 32)
+		}
+		i++
+	}
+	if w.bits() >= 8*BlockSize {
+		return stored(a.Name(), block)
+	}
+	return Compressed{Alg: a.Name(), SizeBits: w.bits(), Payload: w.bytes()}
+}
+
+// halfIsSE8 reports whether a 16-bit halfword is an 8-bit sign-extended
+// value (its upper byte is all zeros or all ones matching bit 7).
+func halfIsSE8(h uint16) bool {
+	return fitsSigned(int64(int16(h)), 8)
+}
+
+// isRepByte reports whether all four bytes of the word are equal.
+func isRepByte(w uint32) bool {
+	b := w & 0xFF
+	return w == b|b<<8|b<<16|b<<24
+}
+
+// Decompress implements Algorithm.
+func (a *FPC) Decompress(c Compressed) ([]byte, error) {
+	if c.Stored {
+		return storedRoundTrip(c)
+	}
+	r := bitReader{buf: c.Payload}
+	out := make([]byte, 0, BlockSize)
+	words := 0
+	for words < BlockSize/WordSize {
+		prefix, ok := r.readBits(3)
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		switch prefix {
+		case fpcZeroRun:
+			rl, ok := r.readBits(3)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			n := int(rl) + 1
+			if words+n > BlockSize/WordSize {
+				return nil, ErrCorrupt
+			}
+			for j := 0; j < n; j++ {
+				out = appendWord(out, 0)
+			}
+			words += n
+		case fpcSE4, fpcSE8, fpcSE16:
+			width := map[uint64]int{fpcSE4: 4, fpcSE8: 8, fpcSE16: 16}[prefix]
+			v, ok := r.readBits(width)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			out = appendWord(out, uint32(signExtend(v, width)))
+			words++
+		case fpcPadded16:
+			v, ok := r.readBits(16)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			out = appendWord(out, uint32(v)<<16)
+			words++
+		case fpcTwoHalf:
+			hi, ok1 := r.readBits(8)
+			lo, ok2 := r.readBits(8)
+			if !ok1 || !ok2 {
+				return nil, ErrCorrupt
+			}
+			h := uint32(uint16(signExtend(hi, 8)))
+			l := uint32(uint16(signExtend(lo, 8)))
+			out = appendWord(out, h<<16|l)
+			words++
+		case fpcRepByte:
+			v, ok := r.readBits(8)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			b := uint32(v)
+			out = appendWord(out, b|b<<8|b<<16|b<<24)
+			words++
+		case fpcUncompact:
+			v, ok := r.readBits(32)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			out = appendWord(out, uint32(v))
+			words++
+		}
+	}
+	return out, nil
+}
+
+// appendWord appends a 32-bit word little-endian.
+func appendWord(out []byte, w uint32) []byte {
+	return append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+}
+
+// SFPC is the simplified FPC variant of Table 1 (4-cycle decompression,
+// ≈1.33× ratio): only the zero-word, 8-bit sign-extended, 16-bit
+// sign-extended and uncompressed patterns survive, selected by a 2-bit
+// prefix. Fewer patterns shorten the decode mux chain (hence the lower
+// latency) at the cost of compression ratio.
+type SFPC struct{}
+
+// NewSFPC returns a simplified-FPC compressor.
+func NewSFPC() *SFPC { return &SFPC{} }
+
+// Name implements Algorithm.
+func (*SFPC) Name() string { return "sfpc" }
+
+// CompLatency implements Algorithm.
+func (*SFPC) CompLatency() int { return 2 }
+
+// DecompLatency implements Algorithm (Table 1: 4 cycles).
+func (*SFPC) DecompLatency() int { return 4 }
+
+const (
+	sfpcZero   = 0
+	sfpcSE8    = 1
+	sfpcSE16   = 2
+	sfpcUncomp = 3
+)
+
+// Compress implements Algorithm.
+func (a *SFPC) Compress(block []byte) Compressed {
+	checkBlock(block)
+	ws := words32(block)
+	var w bitWriter
+	for _, word := range ws {
+		se := int64(int32(word))
+		switch {
+		case word == 0:
+			w.writeBits(sfpcZero, 2)
+		case fitsSigned(se, 8):
+			w.writeBits(sfpcSE8, 2)
+			w.writeBits(uint64(word)&0xFF, 8)
+		case fitsSigned(se, 16):
+			w.writeBits(sfpcSE16, 2)
+			w.writeBits(uint64(word)&0xFFFF, 16)
+		default:
+			w.writeBits(sfpcUncomp, 2)
+			w.writeBits(uint64(word), 32)
+		}
+	}
+	if w.bits() >= 8*BlockSize {
+		return stored(a.Name(), block)
+	}
+	return Compressed{Alg: a.Name(), SizeBits: w.bits(), Payload: w.bytes()}
+}
+
+// Decompress implements Algorithm.
+func (a *SFPC) Decompress(c Compressed) ([]byte, error) {
+	if c.Stored {
+		return storedRoundTrip(c)
+	}
+	r := bitReader{buf: c.Payload}
+	out := make([]byte, 0, BlockSize)
+	for i := 0; i < BlockSize/WordSize; i++ {
+		prefix, ok := r.readBits(2)
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		switch prefix {
+		case sfpcZero:
+			out = appendWord(out, 0)
+		case sfpcSE8:
+			v, ok := r.readBits(8)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			out = appendWord(out, uint32(signExtend(v, 8)))
+		case sfpcSE16:
+			v, ok := r.readBits(16)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			out = appendWord(out, uint32(signExtend(v, 16)))
+		case sfpcUncomp:
+			v, ok := r.readBits(32)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			out = appendWord(out, uint32(v))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecompressNeverPanicsOnGarbage feeds random payloads to every
+// decoder: they must return either a block or ErrCorrupt, never panic and
+// never return a wrong-sized block. (A router must survive a corrupted
+// engine result.)
+func TestDecompressNeverPanicsOnGarbage(t *testing.T) {
+	algs := trained(t)
+	f := func(seed int64, sizeBits uint16, stored bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, rng.Intn(80))
+		rng.Read(payload)
+		c := Compressed{
+			Alg:      "fuzz",
+			SizeBits: int(sizeBits%600) + 1,
+			Stored:   stored,
+			Payload:  payload,
+		}
+		for _, alg := range algs {
+			out, err := alg.Decompress(c)
+			if err == nil && len(out) != BlockSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTruncatedPayloadsRejected truncates valid encodings at every byte
+// boundary: every decoder must fail cleanly (or still produce a full
+// block from a prefix that happens to decode, e.g. bit-packed formats
+// whose tail bits are padding).
+func TestTruncatedPayloadsRejected(t *testing.T) {
+	for _, alg := range trained(t) {
+		for _, blk := range testBlocks(t)[:6] {
+			c := alg.Compress(blk)
+			if c.Stored {
+				continue
+			}
+			for cut := 0; cut < len(c.Payload); cut++ {
+				tr := c
+				tr.Payload = c.Payload[:cut]
+				out, err := alg.Decompress(tr)
+				if err == nil && len(out) != BlockSize {
+					t.Fatalf("%s: truncated payload (cut %d) returned %d bytes",
+						alg.Name(), cut, len(out))
+				}
+			}
+		}
+	}
+}
+
+// TestBitFlipsSurvive flips each bit of a valid encoding: decoders must
+// not panic, and when they succeed must return exactly one block.
+func TestBitFlipsSurvive(t *testing.T) {
+	for _, alg := range trained(t) {
+		blk := testBlocks(t)[3] // narrow ints: compresses under all schemes
+		c := alg.Compress(blk)
+		if c.Stored {
+			continue
+		}
+		for bit := 0; bit < 8*len(c.Payload); bit++ {
+			mut := c
+			mut.Payload = append([]byte(nil), c.Payload...)
+			mut.Payload[bit/8] ^= 1 << uint(7-bit%8)
+			out, err := alg.Decompress(mut)
+			if err == nil && len(out) != BlockSize {
+				t.Fatalf("%s: bit flip %d returned %d bytes", alg.Name(), bit, len(out))
+			}
+		}
+	}
+}
+
+// TestCompressIsPure verifies Compress does not alias or mutate its input
+// and is deterministic.
+func TestCompressIsPure(t *testing.T) {
+	for _, alg := range trained(t) {
+		for _, blk := range testBlocks(t) {
+			orig := append([]byte(nil), blk...)
+			c1 := alg.Compress(blk)
+			c2 := alg.Compress(blk)
+			if !bytes.Equal(blk, orig) {
+				t.Fatalf("%s mutated its input", alg.Name())
+			}
+			if c1.SizeBits != c2.SizeBits || !bytes.Equal(c1.Payload, c2.Payload) {
+				t.Fatalf("%s is not deterministic", alg.Name())
+			}
+			// Mutating the input afterwards must not change the result
+			// (no aliasing of the payload buffer).
+			blk[0] ^= 0xFF
+			if !bytes.Equal(c1.Payload, c2.Payload) {
+				t.Fatalf("%s aliases its input", alg.Name())
+			}
+			blk[0] ^= 0xFF
+		}
+	}
+}
+
+// TestSizeAccountingMatchesPayload: SizeBits must cover the payload the
+// decoder actually consumes — the payload may carry padding or be a
+// different container, but never more than the hardware size plus
+// encoding slack, and a stored block is exactly BlockSize.
+func TestSizeAccountingMatchesPayload(t *testing.T) {
+	for _, alg := range trained(t) {
+		for i, blk := range testBlocks(t) {
+			c := alg.Compress(blk)
+			if c.Stored {
+				if c.SizeBits != 8*BlockSize {
+					t.Fatalf("%s block %d: stored with SizeBits %d", alg.Name(), i, c.SizeBits)
+				}
+				continue
+			}
+			if c.SizeBytes() > BlockSize {
+				t.Fatalf("%s block %d: compressed bigger than raw", alg.Name(), i)
+			}
+		}
+	}
+}
+
+// TestRatioMonotonicity: concatenating more zero content never makes a
+// block compress worse under any scheme.
+func TestRatioMonotonicity(t *testing.T) {
+	for _, alg := range trained(t) {
+		prevSize := 0
+		for zeros := 0; zeros <= BlockSize; zeros += 16 {
+			blk := make([]byte, BlockSize)
+			rng := rand.New(rand.NewSource(1)) // same suffix randomness each time
+			rng.Read(blk)
+			for i := 0; i < zeros; i++ {
+				blk[i] = 0
+			}
+			size := alg.Compress(blk).SizeBytes()
+			if zeros > 0 && size > prevSize+8 {
+				// Allow small non-monotonic wiggle (pattern boundaries),
+				// but a strongly zero-padded block must not inflate.
+				t.Errorf("%s: %d zero bytes -> %dB, previous %dB", alg.Name(), zeros, size, prevSize)
+			}
+			prevSize = size
+		}
+	}
+}
+
+// TestSC2EscapeOnlyStream checks a block of entirely unseen values decodes
+// correctly through the escape path.
+func TestSC2EscapeOnlyStream(t *testing.T) {
+	s := NewSC2()
+	// Train on zeros only.
+	s.Train([][]byte{make([]byte, BlockSize)})
+	rng := rand.New(rand.NewSource(5))
+	blk := make([]byte, BlockSize)
+	rng.Read(blk)
+	c := s.Compress(blk)
+	out, err := s.Decompress(c)
+	if err != nil || !bytes.Equal(out, blk) {
+		t.Fatal("escape-only round trip failed")
+	}
+}
+
+// TestSC2UntrainedDecompressRejected: decoding a non-stored payload with
+// an untrained table must fail, not crash.
+func TestSC2UntrainedDecompressRejected(t *testing.T) {
+	s := NewSC2()
+	if _, err := s.Decompress(Compressed{SizeBits: 40, Payload: []byte{1, 2, 3}}); err == nil {
+		t.Error("untrained decode should fail")
+	}
+}
+
+// TestIncrementalDeltaFragmentSizesConsistent: for random fragmentation
+// the padded size is monotone in fragment count (more fragments, more
+// bubbles) for the same content.
+func TestIncrementalDeltaFragmentSizesConsistent(t *testing.T) {
+	flits := make([]uint64, 8)
+	for i := range flits {
+		flits[i] = 0x2000_0000 + uint64(i)
+	}
+	pad := func(splits []int) int {
+		inc := NewIncrementalDelta()
+		prev := 0
+		for _, s := range splits {
+			if !inc.Absorb(flits[prev:s]) {
+				t.Fatal("absorb failed")
+			}
+			prev = s
+		}
+		if !inc.Absorb(flits[prev:]) || !inc.Done() {
+			t.Fatal("final absorb failed")
+		}
+		return inc.FragmentPaddedBits()
+	}
+	whole := pad(nil)
+	two := pad([]int{4})
+	four := pad([]int{2, 4, 6})
+	if !(whole <= two && two <= four) {
+		t.Errorf("padded bits not monotone in fragmentation: %d, %d, %d", whole, two, four)
+	}
+}

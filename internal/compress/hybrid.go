@@ -1,0 +1,110 @@
+package compress
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Hybrid runs several compressor units in parallel and keeps the smallest
+// encoding — the generalization of Fig. 4's "multiple compression units"
+// plus "compressor selection logic" to heterogeneous schemes. The
+// selected unit's index is recorded in a small per-block tag so the
+// decompressor can dispatch.
+//
+// Latency is the worst unit's latency (the units run in parallel; the
+// selection mux adds nothing at cycle granularity).
+type Hybrid struct {
+	units []Algorithm
+	name  string
+}
+
+// NewHybrid combines the given units. It panics on an empty list or on
+// nested hybrids (caller bug).
+func NewHybrid(units ...Algorithm) *Hybrid {
+	if len(units) == 0 {
+		panic("compress: hybrid needs at least one unit")
+	}
+	names := make([]string, len(units))
+	for i, u := range units {
+		if _, ok := u.(*Hybrid); ok {
+			panic("compress: nested hybrid")
+		}
+		names[i] = u.Name()
+	}
+	return &Hybrid{units: units, name: "hybrid(" + strings.Join(names, "+") + ")"}
+}
+
+// Name implements Algorithm.
+func (h *Hybrid) Name() string { return h.name }
+
+// CompLatency implements Algorithm: the slowest parallel unit.
+func (h *Hybrid) CompLatency() int {
+	m := 0
+	for _, u := range h.units {
+		if u.CompLatency() > m {
+			m = u.CompLatency()
+		}
+	}
+	return m
+}
+
+// DecompLatency implements Algorithm: dispatch costs nothing beyond the
+// selected unit, but the engine must be provisioned for the slowest.
+func (h *Hybrid) DecompLatency() int {
+	m := 0
+	for _, u := range h.units {
+		if u.DecompLatency() > m {
+			m = u.DecompLatency()
+		}
+	}
+	return m
+}
+
+// hybridTagBits is the per-block unit-select tag.
+const hybridTagBits = 3
+
+// Compress implements Algorithm.
+func (h *Hybrid) Compress(block []byte) Compressed {
+	checkBlock(block)
+	best := -1
+	var bestC Compressed
+	for i, u := range h.units {
+		c := u.Compress(block)
+		if c.Stored {
+			continue
+		}
+		if best < 0 || c.SizeBits < bestC.SizeBits {
+			best, bestC = i, c
+		}
+	}
+	if best < 0 || bestC.SizeBits+hybridTagBits >= 8*BlockSize {
+		return stored(h.name, block)
+	}
+	payload := append([]byte{byte(best)}, bestC.Payload...)
+	return Compressed{
+		Alg:      h.name,
+		SizeBits: bestC.SizeBits + hybridTagBits,
+		Stored:   bestC.Stored,
+		Payload:  payload,
+	}
+}
+
+// Decompress implements Algorithm.
+func (h *Hybrid) Decompress(c Compressed) ([]byte, error) {
+	if c.Stored {
+		return storedRoundTrip(c)
+	}
+	if len(c.Payload) < 1 {
+		return nil, ErrCorrupt
+	}
+	idx := int(c.Payload[0])
+	if idx >= len(h.units) {
+		return nil, fmt.Errorf("compress: hybrid tag %d out of range: %w", idx, ErrCorrupt)
+	}
+	inner := Compressed{
+		Alg:      h.units[idx].Name(),
+		SizeBits: c.SizeBits - hybridTagBits,
+		Payload:  c.Payload[1:],
+	}
+	return h.units[idx].Decompress(inner)
+}

@@ -1,0 +1,372 @@
+package compress
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"sort"
+)
+
+// SC2 stands in for the SC² statistical compression cache (Arelakis &
+// Stenström, ISCA 2014, the paper's reference [3]). Value statistics are
+// sampled from the running workload, a canonical Huffman code is built
+// over the most frequent 32-bit values plus an escape symbol, and blocks
+// are encoded word by word with that shared code — infrequent words are
+// emitted as escape + raw 32 bits. The code table lives in dedicated
+// hardware shared by all blocks, so per-block metadata is tiny; the price
+// is the longest de/compression latency of Table 1 (comp 6 cycles,
+// decomp 8–14 cycles) and the need for a training phase.
+//
+// An untrained SC2 has an empty value table and therefore stores blocks
+// raw; call Train (or Observe + Retrain) before measuring ratios,
+// mirroring the sampling phase of the real design.
+type SC2 struct {
+	values   []uint32          // frequent-value table (escape excluded)
+	valueIdx map[uint32]int    // value -> symbol index
+	codes    []huffCode        // per symbol; escape is the last entry
+	freq     map[uint32]uint64 // accumulated sample statistics
+	decoder  huffDecoder
+	trained  bool
+	// DeepDecomp selects the 14-cycle worst-case decompression latency of
+	// Table 1 instead of the common-case 8 cycles.
+	DeepDecomp bool
+}
+
+// huffCode is one canonical Huffman codeword.
+type huffCode struct {
+	bits uint32
+	len  int
+}
+
+// sc2TableSize is the frequent-value table capacity (4095 values + escape
+// fit a 12-bit symbol space; the SC² hardware proposal uses multi-thousand
+// entry code tables).
+const sc2TableSize = 4096
+
+// sc2MaxCodeLen caps codeword length, as the hardware decode pipeline does.
+const sc2MaxCodeLen = 20
+
+// sc2HeaderBits is the per-block metadata (compressed-size field consulted
+// by the segment allocator).
+const sc2HeaderBits = 8
+
+// NewSC2 returns an untrained SC² compressor.
+func NewSC2() *SC2 {
+	return &SC2{freq: make(map[uint32]uint64), valueIdx: make(map[uint32]int)}
+}
+
+// Name implements Algorithm.
+func (*SC2) Name() string { return "sc2" }
+
+// CompLatency implements Algorithm (Table 1: 6 cycles).
+func (*SC2) CompLatency() int { return 6 }
+
+// DecompLatency implements Algorithm (Table 1: 8 or 14 cycles).
+func (s *SC2) DecompLatency() int {
+	if s.DeepDecomp {
+		return 14
+	}
+	return 8
+}
+
+// Observe folds one block into the sampling statistics without
+// compressing it. Call Retrain afterwards to rebuild the code.
+func (s *SC2) Observe(block []byte) {
+	for i := 0; i+WordSize <= len(block); i += WordSize {
+		s.freq[binary.LittleEndian.Uint32(block[i:])]++
+	}
+}
+
+// Retrain rebuilds the value table and canonical Huffman code from the
+// accumulated statistics.
+func (s *SC2) Retrain() {
+	type vf struct {
+		v uint32
+		f uint64
+	}
+	all := make([]vf, 0, len(s.freq))
+	var total uint64
+	for v, f := range s.freq {
+		all = append(all, vf{v, f})
+		total += f
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].v < all[j].v
+	})
+	if len(all) > sc2TableSize-1 {
+		all = all[:sc2TableSize-1]
+	}
+	s.values = s.values[:0]
+	s.valueIdx = make(map[uint32]int, len(all))
+	freqs := make([]uint64, len(all)+1)
+	var covered uint64
+	for i, e := range all {
+		s.values = append(s.values, e.v)
+		s.valueIdx[e.v] = i
+		freqs[i] = e.f + 1
+		covered += e.f
+	}
+	freqs[len(all)] = total - covered + 1 // escape
+	lens := huffLengths(freqs, sc2MaxCodeLen)
+	s.codes = canonicalAssign(lens)
+	s.decoder.build(s.codes)
+	s.trained = true
+}
+
+// Train is Observe over a sample set followed by Retrain.
+func (s *SC2) Train(samples [][]byte) {
+	for _, b := range samples {
+		s.Observe(b)
+	}
+	s.Retrain()
+}
+
+// Trained reports whether a code has been built from real statistics.
+func (s *SC2) Trained() bool { return s.trained }
+
+// escapeSym is the escape's symbol index.
+func (s *SC2) escapeSym() int { return len(s.values) }
+
+// Compress implements Algorithm.
+func (s *SC2) Compress(block []byte) Compressed {
+	checkBlock(block)
+	if !s.trained {
+		return stored(s.Name(), block)
+	}
+	var w bitWriter
+	esc := s.codes[s.escapeSym()]
+	for i := 0; i < BlockSize; i += WordSize {
+		word := binary.LittleEndian.Uint32(block[i:])
+		if idx, ok := s.valueIdx[word]; ok {
+			c := s.codes[idx]
+			w.writeBits(uint64(c.bits), c.len)
+		} else {
+			w.writeBits(uint64(esc.bits), esc.len)
+			w.writeBits(uint64(word), 32)
+		}
+		if w.bits()+sc2HeaderBits >= 8*BlockSize {
+			return stored(s.Name(), block)
+		}
+	}
+	return Compressed{Alg: s.Name(), SizeBits: w.bits() + sc2HeaderBits, Payload: w.bytes()}
+}
+
+// Decompress implements Algorithm.
+func (s *SC2) Decompress(c Compressed) ([]byte, error) {
+	if c.Stored {
+		return storedRoundTrip(c)
+	}
+	if !s.trained {
+		return nil, ErrCorrupt
+	}
+	r := bitReader{buf: c.Payload}
+	out := make([]byte, 0, BlockSize)
+	for i := 0; i < BlockSize/WordSize; i++ {
+		sym, ok := s.decoder.decode(&r)
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		if sym == s.escapeSym() {
+			v, ok := r.readBits(32)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			out = appendWord(out, uint32(v))
+			continue
+		}
+		if sym > len(s.values) {
+			return nil, ErrCorrupt
+		}
+		out = appendWord(out, s.values[sym])
+	}
+	return out, nil
+}
+
+// --- canonical Huffman machinery -------------------------------------------
+
+// huffNode is a Huffman-tree work item.
+type huffNode struct {
+	weight uint64
+	sym    int // -1 for internal
+	left   int
+	right  int
+}
+
+// huffHeap orders node-arena indices by weight (ties by index, for
+// determinism).
+type huffHeap struct {
+	arena *[]huffNode
+	idx   []int
+}
+
+func (h huffHeap) Len() int { return len(h.idx) }
+func (h huffHeap) Less(i, j int) bool {
+	a, b := (*h.arena)[h.idx[i]], (*h.arena)[h.idx[j]]
+	if a.weight != b.weight {
+		return a.weight < b.weight
+	}
+	return h.idx[i] < h.idx[j]
+}
+func (h huffHeap) Swap(i, j int)       { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *huffHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *huffHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// huffLengths computes code lengths for all symbols, iteratively
+// flattening the frequency distribution until the longest code fits in
+// maxLen (the standard hardware-friendly length-limiting trick).
+func huffLengths(freq []uint64, maxLen int) []int {
+	f := append([]uint64(nil), freq...)
+	for {
+		lens := buildLengths(f)
+		maxSeen := 0
+		for _, l := range lens {
+			if l > maxSeen {
+				maxSeen = l
+			}
+		}
+		if maxSeen <= maxLen {
+			return lens
+		}
+		for i := range f {
+			f[i] = f[i]/2 + 1
+		}
+	}
+}
+
+// buildLengths runs plain Huffman over the symbol set.
+func buildLengths(freq []uint64) []int {
+	n := len(freq)
+	lens := make([]int, n)
+	if n == 0 {
+		return lens
+	}
+	if n == 1 {
+		lens[0] = 1
+		return lens
+	}
+	arena := make([]huffNode, 0, 2*n)
+	h := huffHeap{arena: &arena}
+	for i := 0; i < n; i++ {
+		arena = append(arena, huffNode{weight: freq[i], sym: i, left: -1, right: -1})
+		h.idx = append(h.idx, i)
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(int)
+		b := heap.Pop(&h).(int)
+		arena = append(arena, huffNode{weight: arena[a].weight + arena[b].weight, sym: -1, left: a, right: b})
+		heap.Push(&h, len(arena)-1)
+	}
+	root := h.idx[0]
+	var walk func(node, depth int)
+	walk = func(node, depth int) {
+		nd := arena[node]
+		if nd.sym >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lens[nd.sym] = depth
+			return
+		}
+		walk(nd.left, depth+1)
+		walk(nd.right, depth+1)
+	}
+	walk(root, 0)
+	return lens
+}
+
+// canonicalAssign turns code lengths into canonical codewords.
+func canonicalAssign(lens []int) []huffCode {
+	n := len(lens)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if lens[order[a]] != lens[order[b]] {
+			return lens[order[a]] < lens[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	codes := make([]huffCode, n)
+	code := uint32(0)
+	prevLen := 0
+	for _, sym := range order {
+		l := lens[sym]
+		if prevLen != 0 {
+			code = (code + 1) << uint(l-prevLen)
+		}
+		codes[sym] = huffCode{bits: code, len: l}
+		prevLen = l
+	}
+	return codes
+}
+
+// huffDecoder decodes canonical codes by length-first search.
+type huffDecoder struct {
+	firstCode [sc2MaxCodeLen + 1]uint32
+	firstIdx  [sc2MaxCodeLen + 1]int
+	count     [sc2MaxCodeLen + 1]int
+	symbols   []int
+}
+
+// build derives decode tables from the codeword set.
+func (d *huffDecoder) build(codes []huffCode) {
+	*d = huffDecoder{symbols: make([]int, 0, len(codes))}
+	type entry struct {
+		sym  int
+		code huffCode
+	}
+	all := make([]entry, 0, len(codes))
+	for s, c := range codes {
+		all = append(all, entry{s, c})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].code.len != all[b].code.len {
+			return all[a].code.len < all[b].code.len
+		}
+		return all[a].code.bits < all[b].code.bits
+	})
+	for l := 1; l <= sc2MaxCodeLen; l++ {
+		d.firstIdx[l] = len(d.symbols)
+		first := true
+		for _, e := range all {
+			if e.code.len != l {
+				continue
+			}
+			if first {
+				d.firstCode[l] = e.code.bits
+				first = false
+			}
+			d.symbols = append(d.symbols, e.sym)
+			d.count[l]++
+		}
+	}
+}
+
+// decode consumes one codeword from r.
+func (d *huffDecoder) decode(r *bitReader) (int, bool) {
+	var code uint32
+	for l := 1; l <= sc2MaxCodeLen; l++ {
+		b, ok := r.readBit()
+		if !ok {
+			return 0, false
+		}
+		code = code<<1 | uint32(b)
+		if d.count[l] > 0 {
+			off := int(code) - int(d.firstCode[l])
+			if off >= 0 && off < d.count[l] {
+				return d.symbols[d.firstIdx[l]+off], true
+			}
+		}
+	}
+	return 0, false
+}

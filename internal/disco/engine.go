@@ -1,0 +1,304 @@
+package disco
+
+import (
+	"encoding/binary"
+
+	"github.com/disco-sim/disco/internal/compress"
+)
+
+// JobKind distinguishes the engine's two operations.
+type JobKind int
+
+// Engine job kinds.
+const (
+	JobCompress JobKind = iota
+	JobDecompress
+)
+
+// String implements fmt.Stringer.
+func (k JobKind) String() string {
+	if k == JobCompress {
+		return "compress"
+	}
+	return "decompress"
+}
+
+// JobState is the lifecycle of an engine job.
+type JobState int
+
+// Engine job states.
+const (
+	// JobPending: the engine is within the initial latency window; the
+	// shadow packet is still released on a mis-predicted grant
+	// (non-blocking compression).
+	JobPending JobState = iota
+	// JobCommitted: the result is being produced / fragments are being
+	// absorbed; the packet must wait for completion.
+	JobCommitted
+	// JobDone: the transformed packet is ready to replace its shadow.
+	JobDone
+	// JobAborted: the job was invalidated (non-blocking release or
+	// incompressible content).
+	JobAborted
+)
+
+// Job is one de/compression operation on one packet. PacketID ties it back
+// to the router's packet; the engine never dereferences router state.
+type Job struct {
+	Kind     JobKind
+	PacketID uint64
+	State    JobState
+
+	startCycle uint64
+	latency    int
+
+	// Compression bookkeeping.
+	inc       *compress.IncrementalDelta // strict separate-flit mode (delta)
+	streamBuf []byte                     // generic streaming mode
+	absorbed  int                        // payload flits absorbed
+	total     int                        // payload flits expected
+	result    compress.Compressed
+	haveRes   bool
+
+	// Decompression bookkeeping.
+	src   compress.Compressed
+	block []byte
+}
+
+// Engine is the single per-router de/compression unit of Fig. 2(a). It
+// processes one job at a time; the DISCO arbitrator refuses new candidates
+// while it is busy.
+type Engine struct {
+	alg compress.Algorithm
+	cur *Job
+
+	// strictIncremental selects IncrementalDelta semantics (Δ1 commitment,
+	// possible abort) for separate compression; only meaningful when the
+	// algorithm is the paper's delta scheme.
+	strictIncremental bool
+
+	// Stats.
+	Compressions   uint64
+	Decompressions uint64
+	Aborts         uint64
+	Failures       uint64 // incompressible content discovered mid-job
+	BusyCycles     uint64
+}
+
+// NewEngine builds an engine around the configured algorithm. Delta
+// engines use the paper's strict Δ1 incremental mode for separate
+// compression; other algorithms stream words through their regular
+// pipeline.
+func NewEngine(alg compress.Algorithm) *Engine {
+	_, isDelta := alg.(*compress.Delta)
+	return &Engine{alg: alg, strictIncremental: isDelta}
+}
+
+// Algorithm returns the engine's compressor.
+func (e *Engine) Algorithm() compress.Algorithm { return e.alg }
+
+// Busy reports whether a job is in flight.
+func (e *Engine) Busy() bool { return e.cur != nil }
+
+// Current returns the in-flight job, or nil.
+func (e *Engine) Current() *Job { return e.cur }
+
+// StartCompress begins compressing a packet whose payload will arrive as
+// totalFlits 8-byte flits. The engine is seeded with the flits already
+// resident (possibly all of them). Returns the job, or nil if the engine
+// is busy.
+func (e *Engine) StartCompress(pktID uint64, resident []uint64, totalFlits int, now uint64) *Job {
+	if e.cur != nil {
+		return nil
+	}
+	j := &Job{
+		Kind:       JobCompress,
+		PacketID:   pktID,
+		startCycle: now,
+		latency:    e.alg.CompLatency(),
+		total:      totalFlits,
+	}
+	if e.strictIncremental {
+		j.inc = compress.NewIncrementalDelta()
+	}
+	e.cur = j
+	e.absorb(resident)
+	return j
+}
+
+// StartDecompress begins decompressing a fully resident packet.
+func (e *Engine) StartDecompress(pktID uint64, src compress.Compressed, now uint64) *Job {
+	if e.cur != nil {
+		return nil
+	}
+	j := &Job{
+		Kind:       JobDecompress,
+		PacketID:   pktID,
+		startCycle: now,
+		latency:    e.alg.DecompLatency(),
+		src:        src,
+	}
+	e.cur = j
+	return j
+}
+
+// Absorb feeds newly arrived payload flits of the in-flight compression
+// job (separate compression, Section 3.3A).
+func (e *Engine) Absorb(flits []uint64) {
+	if e.cur == nil || e.cur.Kind != JobCompress {
+		panic("disco: Absorb without a compression job")
+	}
+	e.absorb(flits)
+}
+
+// absorb feeds flits into whichever incremental backend the job uses.
+func (e *Engine) absorb(flits []uint64) {
+	j := e.cur
+	if j.State == JobAborted {
+		return
+	}
+	j.absorbed += len(flits)
+	if j.absorbed > j.total {
+		panic("disco: absorbed more flits than the packet holds")
+	}
+	if j.inc != nil {
+		if !j.inc.Absorb(flits) {
+			j.State = JobAborted
+			e.Failures++
+			return
+		}
+		return
+	}
+	for _, f := range flits {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], f)
+		j.streamBuf = append(j.streamBuf, b[:]...)
+	}
+}
+
+// Tick advances the engine one cycle and returns a finished job exactly
+// once (state JobDone or JobAborted), or nil. now is the current cycle.
+func (e *Engine) Tick(now uint64) *Job {
+	j := e.cur
+	if j == nil {
+		return nil
+	}
+	e.BusyCycles++
+	if j.State == JobAborted {
+		e.cur = nil
+		return j
+	}
+	latencyMet := now >= j.startCycle+uint64(j.latency)
+	if !latencyMet {
+		return nil
+	}
+	// Past the initial latency window the result is committed: a
+	// mis-predicted grant can no longer release the shadow.
+	if j.State == JobPending {
+		j.State = JobCommitted
+	}
+	switch j.Kind {
+	case JobCompress:
+		if j.absorbed < j.total {
+			return nil // waiting for upstream fragments
+		}
+		if !j.haveRes {
+			if j.inc != nil {
+				if !j.inc.Done() {
+					j.State = JobAborted
+					e.Failures++
+					e.cur = nil
+					return j
+				}
+				// Round-trippable result: re-encode with the whole-block
+				// compressor but charge the merged incremental size.
+				res := e.alg.Compress(j.streamedBlock())
+				res.SizeBits = j.inc.MergedSizeBits()
+				j.result = res
+			} else {
+				res := e.alg.Compress(j.streamedBlock())
+				if res.Stored {
+					j.State = JobAborted
+					e.Failures++
+					e.cur = nil
+					return j
+				}
+				j.result = res
+			}
+			j.haveRes = true
+		}
+		j.State = JobDone
+		e.Compressions++
+		e.cur = nil
+		return j
+	case JobDecompress:
+		block, err := e.alg.Decompress(j.src)
+		if err != nil {
+			j.State = JobAborted
+			e.Failures++
+			e.cur = nil
+			return j
+		}
+		j.block = block
+		j.State = JobDone
+		e.Decompressions++
+		e.cur = nil
+		return j
+	}
+	return nil
+}
+
+// streamedBlock reconstructs the absorbed payload for the whole-block
+// fallback encoder. For strict incremental jobs the flits were consumed by
+// IncrementalDelta, so the router re-supplies the block via SetBlock before
+// completion; see SetBlock.
+func (j *Job) streamedBlock() []byte {
+	if len(j.block) == compress.BlockSize {
+		return j.block
+	}
+	if len(j.streamBuf) != compress.BlockSize {
+		panic("disco: compression job completed without a full block")
+	}
+	return j.streamBuf
+}
+
+// SetBlock supplies the packet's uncompressed content for jobs whose
+// incremental backend does not retain bytes (strict delta mode). The
+// router owns the functional payload, so this is a cheap reference pass.
+func (j *Job) SetBlock(block []byte) { j.block = block }
+
+// Result returns the compressed encoding of a finished compression job.
+func (j *Job) Result() compress.Compressed {
+	if !j.haveRes {
+		panic("disco: Result on unfinished job")
+	}
+	return j.result
+}
+
+// Block returns the decompressed content of a finished decompression job.
+func (j *Job) Block() []byte { return j.block }
+
+// CanRelease reports whether a mis-predicted grant may release the shadow
+// packet (non-blocking compression): only while the job is still pending.
+func (e *Engine) CanRelease(pktID uint64) bool {
+	return e.cur != nil && e.cur.PacketID == pktID && e.cur.State == JobPending
+}
+
+// Release aborts the in-flight job for pktID (shadow released to SA). The
+// caller must have checked CanRelease; Release on a committed job panics.
+func (e *Engine) Release(pktID uint64) {
+	if !e.CanRelease(pktID) {
+		panic("disco: Release on non-releasable job")
+	}
+	e.cur = nil
+	e.Aborts++
+}
+
+// DropIfCurrent aborts whatever job is running for pktID regardless of
+// state; used when the packet is torn down (e.g. simulation drain).
+func (e *Engine) DropIfCurrent(pktID uint64) {
+	if e.cur != nil && e.cur.PacketID == pktID {
+		e.cur = nil
+		e.Aborts++
+	}
+}

@@ -1,0 +1,72 @@
+package energy
+
+// Area model (Section 4.3): the paper synthesizes the 3-stage router and
+// the DISCO de/compressor+arbitrator in FreePDK45 and reports the engine
+// at +17.2 % of router area, which is <1 % of a 4 MB NUCA cache; CNC
+// (bank compressors + NI compressors) costs about twice DISCO's overhead.
+
+// Area constants in mm² at 45 nm.
+const (
+	// RouterAreaMM2 is a 5-port, 2-VC, 8-flit-deep 64-bit router
+	// (Orion 2.0-era estimate).
+	RouterAreaMM2 = 0.10
+	// EngineAreaFraction is the DISCO engine+arbitrator as a fraction of
+	// router area (paper: 17.2 %).
+	EngineAreaFraction = 0.172
+	// CacheMM2PerMB is NUCA SRAM density with peripheral circuitry
+	// (CACTI 6.0, 45 nm ≈ 7 mm²/MB).
+	CacheMM2PerMB = 7.0
+)
+
+// EngineAreaMM2 is one de/compression engine + arbitrator.
+const EngineAreaMM2 = RouterAreaMM2 * EngineAreaFraction
+
+// AreaReport summarizes a design point's silicon budget.
+type AreaReport struct {
+	Mode        string
+	Tiles       int
+	CacheMB     float64
+	RouterTotal float64 // mm², all routers, engines excluded
+	Engines     int
+	EngineTotal float64 // mm², all de/compression engines
+	CacheTotal  float64 // mm²
+	// OverheadVsRouterPct is engine area over router area (per tile).
+	OverheadVsRouterPct float64
+	// OverheadVsCachePct is total engine area over total cache area.
+	OverheadVsCachePct float64
+}
+
+// enginesFor returns the engine count of each comparison mode.
+func enginesFor(mode string, tiles int) int {
+	switch mode {
+	case "baseline", "ideal":
+		return 0
+	case "cc":
+		return tiles // one per bank
+	case "cnc":
+		return 2 * tiles // one per bank + one per NI
+	case "disco":
+		return tiles // one per router
+	}
+	return 0
+}
+
+// Area computes the report for a mode ("baseline", "cc", "cnc", "disco",
+// "ideal") with the given tile count and total cache size.
+func Area(mode string, tiles int, cacheMB float64) AreaReport {
+	engines := enginesFor(mode, tiles)
+	r := AreaReport{
+		Mode:        mode,
+		Tiles:       tiles,
+		CacheMB:     cacheMB,
+		RouterTotal: RouterAreaMM2 * float64(tiles),
+		Engines:     engines,
+		EngineTotal: EngineAreaMM2 * float64(engines),
+		CacheTotal:  CacheMM2PerMB * cacheMB,
+	}
+	if engines > 0 {
+		r.OverheadVsRouterPct = EngineAreaFraction * float64(engines) / float64(tiles) * 100
+		r.OverheadVsCachePct = r.EngineTotal / r.CacheTotal * 100
+	}
+	return r
+}

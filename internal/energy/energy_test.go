@@ -1,0 +1,107 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{RouterDyn: 1, LinkDyn: 2, CacheDyn: 3, DramDyn: 4, CompDyn: 5, Leakage: 6}
+	if b.Total() != 21 {
+		t.Errorf("Total = %g, want 21", b.Total())
+	}
+	if b.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestModelEnergyComposition(t *testing.T) {
+	m := NewModel("delta")
+	c := Counts{
+		Cycles: 1000, FlitHops: 10, FlitsSwitched: 20,
+		L1Accesses: 5, BankAccesses: 2, BankProbes: 3, DramAccesses: 1,
+		CompOps: 4, DecompOps: 6,
+		Routers: 16, Banks: 16, L1s: 16, Engines: 16,
+	}
+	b := m.Energy(c)
+	p := DefaultParams()
+	if b.RouterDyn != 20*p.RouterFlit {
+		t.Error("router dynamic wrong")
+	}
+	if b.LinkDyn != 10*p.LinkFlit {
+		t.Error("link dynamic wrong")
+	}
+	wantCache := 5*p.L1Access + 2*p.BankAccess + 3*p.BankTagProbe
+	if b.CacheDyn != wantCache {
+		t.Error("cache dynamic wrong")
+	}
+	if b.DramDyn != p.DramAccess {
+		t.Error("dram wrong")
+	}
+	if b.CompDyn != 10*CompressorOpEnergy("delta") {
+		t.Error("compressor dynamic wrong")
+	}
+	wantLeak := 1000 * (16*p.RouterLeak + 16*p.BankLeak + 16*p.L1Leak + 16*p.EngineLeak)
+	if math.Abs(b.Leakage-wantLeak) > 1e-9 {
+		t.Error("leakage wrong")
+	}
+}
+
+func TestCompressorOpEnergyOrdering(t *testing.T) {
+	// More complex pipelines must cost more.
+	if !(CompressorOpEnergy("delta") < CompressorOpEnergy("fpc")) {
+		t.Error("delta should be cheaper than fpc")
+	}
+	if !(CompressorOpEnergy("fpc") < CompressorOpEnergy("sc2")) {
+		t.Error("fpc should be cheaper than sc2")
+	}
+	if CompressorOpEnergy("none") != 0 || CompressorOpEnergy("") != 0 {
+		t.Error("none must be free")
+	}
+	if CompressorOpEnergy("mystery") <= 0 {
+		t.Error("unknown algorithms need a positive estimate")
+	}
+}
+
+func TestAreaDiscoMatchesPaper(t *testing.T) {
+	r := Area("disco", 16, 4)
+	// +17.2% of the router per tile.
+	if math.Abs(r.OverheadVsRouterPct-17.2) > 0.05 {
+		t.Errorf("router overhead = %.2f%%, want 17.2%%", r.OverheadVsRouterPct)
+	}
+	// <1% of the 4MB NUCA.
+	if r.OverheadVsCachePct >= 1.0 || r.OverheadVsCachePct <= 0 {
+		t.Errorf("cache overhead = %.3f%%, want (0,1)%%", r.OverheadVsCachePct)
+	}
+}
+
+func TestAreaCncDoublesDisco(t *testing.T) {
+	d := Area("disco", 16, 4)
+	c := Area("cnc", 16, 4)
+	if math.Abs(c.EngineTotal-2*d.EngineTotal) > 1e-9 {
+		t.Errorf("CNC engine area %.4f should be 2x DISCO's %.4f", c.EngineTotal, d.EngineTotal)
+	}
+	cc := Area("cc", 16, 4)
+	if cc.EngineTotal != d.EngineTotal {
+		t.Error("CC and DISCO have equal engine counts")
+	}
+}
+
+func TestAreaBaselineHasNoEngines(t *testing.T) {
+	for _, mode := range []string{"baseline", "ideal"} {
+		r := Area(mode, 16, 4)
+		if r.Engines != 0 || r.EngineTotal != 0 || r.OverheadVsCachePct != 0 {
+			t.Errorf("%s should have zero engine area", mode)
+		}
+	}
+}
+
+func TestLeakageScalesWithCycles(t *testing.T) {
+	m := NewModel("delta")
+	base := Counts{Cycles: 100, Routers: 4}
+	double := base
+	double.Cycles = 200
+	if m.Energy(double).Leakage != 2*m.Energy(base).Leakage {
+		t.Error("leakage must scale linearly with runtime")
+	}
+}

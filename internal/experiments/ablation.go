@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/disco-sim/disco/internal/cmp"
+	"github.com/disco-sim/disco/internal/disco"
+	"github.com/disco-sim/disco/internal/trace"
+)
+
+// AblationRow is one DISCO policy variant's gmean normalized latency
+// (Ideal = 1.0) over the option set's benchmarks.
+type AblationRow struct {
+	Variant    string
+	Normalized float64
+}
+
+// AblationResult collects the design-choice study of DESIGN.md §5.
+type AblationResult struct{ Rows []AblationRow }
+
+// ablationVariants enumerates the mechanisms Sections 3.2–3.3 introduce.
+func ablationVariants() []struct {
+	name string
+	mut  func(*disco.Config)
+} {
+	return []struct {
+		name string
+		mut  func(*disco.Config)
+	}{
+		{"full", func(*disco.Config) {}},
+		{"blocking-engine", func(c *disco.Config) { c.NonBlocking = false }},
+		{"no-separate-flit", func(c *disco.Config) { c.SeparateFlit = false }},
+		{"no-low-priority", func(c *disco.Config) { c.LowPriorityRule = false }},
+		{"compress-all-classes", func(c *disco.Config) { c.ResponseOnly = false }},
+		{"always-confident", func(c *disco.Config) { c.CCth, c.CDth = -1e9, -1e9; c.Beta = 0 }},
+		{"never-confident", func(c *disco.Config) { c.CCth, c.CDth = 1e9, 1e9 }},
+		{"adaptive-thresholds", func(c *disco.Config) { c.Adaptive = true; c.AdaptiveGain = 1 }},
+	}
+}
+
+// Ablation measures each DISCO variant against the Ideal baseline.
+func Ablation(o Opts) (AblationResult, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return AblationResult{}, err
+	}
+	ideal := make([]float64, len(profs))
+	for i, p := range profs {
+		r, err := runOne(cmp.Ideal, "delta", p, o, 0)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		ideal[i] = r.AvgMissLatency
+	}
+	var res AblationResult
+	for _, v := range ablationVariants() {
+		sum, n := 0.0, 0
+		for i, p := range profs {
+			r, err := runVariant(p, o, v.mut)
+			if err != nil {
+				return res, err
+			}
+			sum += r.AvgMissLatency / ideal[i]
+			n++
+		}
+		res.Rows = append(res.Rows, AblationRow{Variant: v.name, Normalized: sum / float64(n)})
+	}
+	return res, nil
+}
+
+// runVariant runs one DISCO system with a mutated policy config.
+func runVariant(p trace.Profile, o Opts, mut func(*disco.Config)) (cmp.Results, error) {
+	alg := newAlg("delta")
+	cfg := cmp.DefaultConfig(cmp.DISCO, alg, p)
+	cfg.OpsPerCore = o.Ops
+	cfg.WarmupOps = o.Warmup
+	cfg.Seed = o.Seed
+	dc := disco.DefaultConfig(alg)
+	mut(&dc)
+	cfg.Disco = &dc
+	sys, err := cmp.New(cfg)
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	return sys.Run()
+}
+
+// Table renders the ablation study.
+func (r AblationResult) Table() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Variant, fmt.Sprintf("%.3f", row.Normalized)})
+	}
+	return "DISCO policy ablation: mean normalized latency (Ideal=1.0, delta)\n" +
+		table([]string{"variant", "latency"}, rows)
+}

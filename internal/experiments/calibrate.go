@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/disco-sim/disco/internal/cmp"
+	"github.com/disco-sim/disco/internal/disco"
+)
+
+// CalibrationPoint is one (CCth, CDth) grid point's outcome.
+type CalibrationPoint struct {
+	CCth, CDth float64
+	// Latency is the mean normalized latency (Ideal = 1.0) over the
+	// option set's benchmarks.
+	Latency float64
+	// EngineOps is the total in-network de/compression count (diagnostic:
+	// thresholds too high starve the engines, too low waste energy).
+	EngineOps uint64
+	// Releases counts shadow-packet releases (mis-predictions).
+	Releases uint64
+}
+
+// CalibrationResult is a threshold-sweep outcome; Best is the point with
+// the lowest latency.
+type CalibrationResult struct {
+	Points []CalibrationPoint
+	Best   CalibrationPoint
+}
+
+// CalibrateThresholds reproduces the paper's empirical parameter training
+// (end of Section 3.2: "we use the real workload traces ... to train the
+// empirical parameters"): it sweeps the CCth × CDth grid with the delta
+// compressor and reports normalized latency per point.
+func CalibrateThresholds(o Opts, ccths, cdths []float64) (CalibrationResult, error) {
+	if len(ccths) == 0 {
+		ccths = []float64{0, 1, 2, 4}
+	}
+	if len(cdths) == 0 {
+		cdths = []float64{-2, 0, 2}
+	}
+	profs, err := o.profiles()
+	if err != nil {
+		return CalibrationResult{}, err
+	}
+	ideal := make([]float64, len(profs))
+	for i, p := range profs {
+		r, err := runOne(cmp.Ideal, "delta", p, o, 0)
+		if err != nil {
+			return CalibrationResult{}, err
+		}
+		ideal[i] = r.AvgMissLatency
+	}
+	var res CalibrationResult
+	for _, cc := range ccths {
+		for _, cd := range cdths {
+			var pt CalibrationPoint
+			pt.CCth, pt.CDth = cc, cd
+			sum := 0.0
+			for i, p := range profs {
+				r, err := runVariant(p, o, func(c *disco.Config) {
+					c.CCth, c.CDth = cc, cd
+				})
+				if err != nil {
+					return res, err
+				}
+				sum += r.AvgMissLatency / ideal[i]
+				pt.EngineOps += r.Net.Compressions + r.Net.Decompressions
+				pt.Releases += r.Net.EngineReleases
+			}
+			pt.Latency = sum / float64(len(profs))
+			res.Points = append(res.Points, pt)
+			if res.Best.Latency == 0 || pt.Latency < res.Best.Latency {
+				res.Best = pt
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r CalibrationResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		mark := ""
+		if p == r.Best {
+			mark = "  <- best"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", p.CCth),
+			fmt.Sprintf("%.1f", p.CDth),
+			fmt.Sprintf("%.3f", p.Latency),
+			fmt.Sprintf("%d", p.EngineOps),
+			fmt.Sprintf("%d%s", p.Releases, mark),
+		})
+	}
+	return "threshold calibration (delta; normalized latency, Ideal=1.0)\n" +
+		table([]string{"CCth", "CDth", "latency", "engine ops", "releases"}, rows)
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCalibrateThresholds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system sweep")
+	}
+	o := Opts{Ops: 700, Warmup: 400, Seed: 1, Benchmarks: []string{"canneal"}}
+	r, err := CalibrateThresholds(o, []float64{0, 2}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(r.Points))
+	}
+	if r.Best.Latency <= 0 {
+		t.Error("best point not selected")
+	}
+	// Lower thresholds mean the engines trigger at least as often.
+	if r.Points[0].CCth < r.Points[1].CCth && r.Points[0].EngineOps < r.Points[1].EngineOps {
+		t.Errorf("lower threshold produced fewer engine ops: %+v", r.Points)
+	}
+	if !strings.Contains(r.Table(), "best") {
+		t.Error("table missing best marker")
+	}
+}
+
+func TestCalibrateDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system sweep")
+	}
+	// Empty grids fall back to the default sweep; just check they expand.
+	o := Opts{Ops: 300, Warmup: 200, Seed: 1, Benchmarks: []string{"swaptions"}}
+	r, err := CalibrateThresholds(o, nil, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("default CCth grid should have 4 points, got %d", len(r.Points))
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment results")
+
+// TestFig5Golden compares the Quick-opts Figure 5 result against a
+// committed golden file, with a tolerance wide enough to absorb benign
+// calibration drift but tight enough to catch ordering flips or broken
+// mechanisms. Regenerate with: go test ./internal/experiments -run Golden -update
+func TestFig5Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system experiment")
+	}
+	o := Opts{Ops: 1500, Warmup: 800, Seed: 1, Benchmarks: []string{"bodytrack", "canneal"}}
+	got, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "fig5_quick_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, _ := json.MarshalIndent(got, "", "  ")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("no golden file (%v); run with -update to create", err)
+	}
+	var want LatencyResult
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	const tol = 0.05 // 5% of normalized latency
+	check := func(name string, g, w float64) {
+		if math.Abs(g-w) > tol {
+			t.Errorf("%s drifted: got %.3f, golden %.3f (tol %.2f)", name, g, w, tol)
+		}
+	}
+	check("gmean.CC", got.GMean.CC, want.GMean.CC)
+	check("gmean.CNC", got.GMean.CNC, want.GMean.CNC)
+	check("gmean.DISCO", got.GMean.DISCO, want.GMean.DISCO)
+	// The ordering must hold regardless of drift.
+	if !(got.GMean.DISCO < got.GMean.CC) {
+		t.Errorf("ordering violated: DISCO %.3f !< CC %.3f", got.GMean.DISCO, got.GMean.CC)
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Report bundles every experiment's structured results for machine
+// consumption (JSON), so downstream tooling can plot or diff runs.
+type Report struct {
+	Opts     Opts                     `json:"opts"`
+	Table1   *Table1Result            `json:"table1,omitempty"`
+	Fig5     *LatencyResult           `json:"fig5,omitempty"`
+	Fig6     map[string]LatencyResult `json:"fig6,omitempty"`
+	Fig7     *EnergyResult            `json:"fig7,omitempty"`
+	Fig8     *ScaleResult             `json:"fig8,omitempty"`
+	Ablation *AblationResult          `json:"ablation,omitempty"`
+}
+
+// RunAll executes every experiment and collects the structured results.
+func RunAll(o Opts) (*Report, error) {
+	rep := &Report{Opts: o}
+	t1, err := Table1(o)
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	rep.Table1 = &t1
+	f5, err := Fig5(o)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	rep.Fig5 = &f5
+	f6, err := Fig6(o)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	rep.Fig6 = f6
+	f7, err := Fig7(o)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	rep.Fig7 = &f7
+	f8, err := Fig8(o)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	rep.Fig8 = &f8
+	ab, err := Ablation(o)
+	if err != nil {
+		return nil, fmt.Errorf("ablation: %w", err)
+	}
+	rep.Ablation = &ab
+	return rep, nil
+}
+
+// JSON serializes the report (stable field order, indented).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

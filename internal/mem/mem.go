@@ -1,0 +1,90 @@
+// Package mem models the off-chip DRAM of Table 2 (4 GB, 1 rank, 1
+// channel, 8 banks) at the fidelity the DISCO evaluation needs: a fixed
+// access latency plus bank-busy and channel-serialization contention. The
+// DISCO paper treats memory as a latency/energy sink behind the single
+// memory controller; detailed DDR timing is out of scope (DESIGN.md §3).
+package mem
+
+import "fmt"
+
+// Config describes the DRAM device behind the memory controller.
+type Config struct {
+	// Banks is the DRAM bank count (Table 2: 8).
+	Banks int
+	// AccessLatency is the fixed row access latency in core cycles
+	// (activate + CAS + transfer start); ~80 ns at 2 GHz.
+	AccessLatency uint64
+	// BankBusy is the bank recovery time between accesses to the same
+	// bank (tRC-ish) in core cycles.
+	BankBusy uint64
+	// ChannelBusy is the data-bus serialization time per 64-byte transfer
+	// in core cycles (single channel).
+	ChannelBusy uint64
+}
+
+// DefaultConfig returns a 2 GHz-core view of a DDR3-era single channel.
+func DefaultConfig() Config {
+	return Config{Banks: 8, AccessLatency: 160, BankBusy: 48, ChannelBusy: 8}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("mem: need at least one bank, got %d", c.Banks)
+	}
+	if c.AccessLatency == 0 {
+		return fmt.Errorf("mem: zero access latency")
+	}
+	return nil
+}
+
+// DRAM is the device model. It is driven by the memory controller: each
+// Access returns the cycle at which the data is available (read) or
+// absorbed (write).
+type DRAM struct {
+	cfg         Config
+	bankFree    []uint64
+	channelFree uint64
+
+	Reads  uint64
+	Writes uint64
+	// StallCycles accumulates contention-induced waiting beyond the fixed
+	// latency (diagnostics).
+	StallCycles uint64
+}
+
+// New builds a DRAM model.
+func New(cfg Config) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DRAM{cfg: cfg, bankFree: make([]uint64, cfg.Banks)}, nil
+}
+
+// bank maps a block address to a DRAM bank.
+func (d *DRAM) bank(addr uint64) int { return int(addr % uint64(d.cfg.Banks)) }
+
+// Access schedules one 64-byte read or write issued at cycle `now` and
+// returns the completion cycle.
+func (d *DRAM) Access(addr uint64, write bool, now uint64) uint64 {
+	if write {
+		d.Writes++
+	} else {
+		d.Reads++
+	}
+	b := d.bank(addr)
+	start := now
+	if d.bankFree[b] > start {
+		start = d.bankFree[b]
+	}
+	if d.channelFree > start {
+		start = d.channelFree
+	}
+	d.StallCycles += start - now
+	d.bankFree[b] = start + d.cfg.BankBusy
+	d.channelFree = start + d.cfg.ChannelBusy
+	return start + d.cfg.AccessLatency
+}
+
+// Accesses returns the total access count.
+func (d *DRAM) Accesses() uint64 { return d.Reads + d.Writes }

@@ -1,0 +1,100 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if _, err := New(Config{Banks: 0, AccessLatency: 1}); err == nil {
+		t.Error("zero banks should fail")
+	}
+	if _, err := New(Config{Banks: 1, AccessLatency: 0}); err == nil {
+		t.Error("zero latency should fail")
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	done := d.Access(0, false, 100)
+	if done != 100+160 {
+		t.Errorf("uncontended access done at %d, want 260", done)
+	}
+	if d.Reads != 1 || d.Writes != 0 {
+		t.Error("counters wrong")
+	}
+}
+
+func TestSameBankContention(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	d.Access(0, false, 0)
+	done := d.Access(8, false, 0) // addr 8 % 8 banks == bank 0
+	if done != 48+160 {
+		t.Errorf("bank-conflicted access done at %d, want 208", done)
+	}
+	if d.StallCycles != 48 {
+		t.Errorf("StallCycles = %d, want 48", d.StallCycles)
+	}
+}
+
+func TestDifferentBanksOnlyChannelSerialized(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	d.Access(0, false, 0)
+	done := d.Access(1, true, 0) // bank 1: only channel busy (8 cycles)
+	if done != 8+160 {
+		t.Errorf("channel-serialized access done at %d, want 168", done)
+	}
+	if d.Writes != 1 {
+		t.Error("write counter wrong")
+	}
+	if d.Accesses() != 2 {
+		t.Error("Accesses wrong")
+	}
+}
+
+func TestLaterIssueNoStall(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	d.Access(0, false, 0)
+	done := d.Access(8, false, 1000) // long after bank freed
+	if done != 1160 {
+		t.Errorf("done = %d, want 1160", done)
+	}
+	if d.StallCycles != 0 {
+		t.Error("no stall expected")
+	}
+}
+
+// Property: completion is never earlier than issue + fixed latency, and
+// per-bank completions are strictly separated by BankBusy.
+func TestAccessOrderingProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(addrs []uint16, gaps []uint8) bool {
+		d, _ := New(cfg)
+		now := uint64(0)
+		lastPerBank := map[int]uint64{}
+		for i, a := range addrs {
+			if i < len(gaps) {
+				now += uint64(gaps[i])
+			}
+			done := d.Access(uint64(a), i%2 == 0, now)
+			if done < now+cfg.AccessLatency {
+				return false
+			}
+			b := int(uint64(a) % uint64(cfg.Banks))
+			if prev, ok := lastPerBank[b]; ok {
+				if done < prev+cfg.BankBusy {
+					return false
+				}
+			}
+			lastPerBank[b] = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package noc
+
+// Analytical latency model used to validate the simulator (and to reason
+// about results without running it). Under zero load, a packet's latency
+// decomposes as
+//
+//	T0 = Toverhead + H * Thop + (F-1)
+//
+// where H is the hop count, Thop the pipelined per-hop head latency
+// (route + allocate + traverse, overlapped with the next router's work),
+// Toverhead covers NI injection plus ejection, and F-1 is the
+// serialization of the body flits behind the head. The tests in
+// model_test.go assert the cycle-accurate simulator matches this formula
+// exactly at zero load — a standard sanity anchor for NoC simulators.
+
+// Latency-model constants of this router implementation.
+const (
+	// ModelHopCycles is the steady-state per-hop head latency of the
+	// 3-stage pipeline (route/allocate/traverse, one new head per hop
+	// every 3 cycles at zero load).
+	ModelHopCycles = 3
+	// ModelOverheadCycles covers NI injection plus the ejection router's
+	// residual processing.
+	ModelOverheadCycles = 3
+)
+
+// ZeroLoadLatency predicts the uncontended latency of a packet with
+// flitCount flits over `hops` links (Manhattan distance between source
+// and destination).
+func ZeroLoadLatency(hops, flitCount int) uint64 {
+	if hops == 0 {
+		return 0 // NI loopback is immediate in this model
+	}
+	return uint64(ModelOverheadCycles + hops*ModelHopCycles + (flitCount - 1))
+}
+
+// ZeroLoadLatencyFor predicts the uncontended latency between two nodes
+// of this network for a packet with flitCount flits.
+func (n *Network) ZeroLoadLatencyFor(src, dst, flitCount int) uint64 {
+	return ZeroLoadLatency(n.cfg.Hops(src, dst), flitCount)
+}
+
+// MeanZeroLoadLatency averages the prediction over all (src,dst) pairs
+// under uniform traffic — the intercept of the latency-vs-load curve.
+func (n *Network) MeanZeroLoadLatency(flitCount int) float64 {
+	nodes := n.cfg.Nodes()
+	var sum float64
+	pairs := 0
+	for s := 0; s < nodes; s++ {
+		for d := 0; d < nodes; d++ {
+			if s == d {
+				continue
+			}
+			sum += float64(n.ZeroLoadLatencyFor(s, d, flitCount))
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}

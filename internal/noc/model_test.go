@@ -1,0 +1,93 @@
+package noc
+
+import "testing"
+
+// measureZeroLoad runs one packet through an otherwise empty network.
+func measureZeroLoad(t *testing.T, src, dst, flits int) uint64 {
+	t.Helper()
+	n := mustNet(t, DefaultConfig())
+	var lat uint64
+	n.OnEject = func(_ int, p *Packet) { lat = p.EjectCycle - p.InjectCycle }
+	var p *Packet
+	if flits == 1 {
+		p = NewControlPacket(1, src, dst, ClassRequest)
+	} else {
+		p = NewDataPacket(1, src, dst, compressibleBlock(1), false)
+	}
+	n.Inject(p)
+	if !n.RunUntilQuiescent(5000) {
+		t.Fatal("no drain")
+	}
+	return lat
+}
+
+// The simulator must match the analytical zero-load model exactly: this
+// pins the pipeline depth so an accidental change to stage ordering shows
+// up as a test failure, not a silent calibration shift.
+func TestZeroLoadModelMatchesSimulator(t *testing.T) {
+	cases := []struct {
+		src, dst, flits int
+	}{
+		{0, 1, 1},  // 1 hop control
+		{0, 3, 1},  // 3 hops control
+		{0, 15, 1}, // 6 hops control
+		{0, 1, 9},  // 1 hop data
+		{0, 15, 9}, // 6 hops data
+		{5, 6, 9},
+		{12, 3, 1},
+	}
+	cfg := DefaultConfig()
+	for _, c := range cases {
+		want := ZeroLoadLatency(cfg.Hops(c.src, c.dst), c.flits)
+		got := measureZeroLoad(t, c.src, c.dst, c.flits)
+		if got != want {
+			t.Errorf("%d->%d (%d flits): simulated %d, model %d",
+				c.src, c.dst, c.flits, got, want)
+		}
+	}
+}
+
+func TestZeroLoadLoopback(t *testing.T) {
+	if ZeroLoadLatency(0, 9) != 0 {
+		t.Error("loopback should be 0")
+	}
+}
+
+func TestMeanZeroLoadLatency(t *testing.T) {
+	n := mustNet(t, DefaultConfig())
+	m := n.MeanZeroLoadLatency(1)
+	// 4x4 mesh mean hops = 8/3; mean latency between the 1-hop (9) and
+	// 6-hop (29) extremes.
+	lo := float64(ZeroLoadLatency(1, 1))
+	hi := float64(ZeroLoadLatency(6, 1))
+	if m <= lo || m >= hi {
+		t.Errorf("mean %f outside (%f, %f)", m, lo, hi)
+	}
+}
+
+// Under load the simulator can only be slower than the zero-load model —
+// a cheap lower-bound property over random pairs.
+func TestModelIsLowerBoundUnderLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	n := mustNet(t, cfg)
+	viol := 0
+	n.OnEject = func(_ int, p *Packet) {
+		lat := p.EjectCycle - p.InjectCycle
+		bound := ZeroLoadLatency(cfg.Hops(p.Src, p.Dst), p.FlitCount)
+		// NI queueing (several packets per node) makes even the first
+		// packets wait; the bound applies to network time, so allow the
+		// injection-queue slack of the packets queued ahead.
+		if lat+5 < bound {
+			viol++
+		}
+	}
+	g := NewTrafficGen(n, DefaultTraffic())
+	for i := 0; i < 4000; i++ {
+		g.Step()
+		n.Step()
+	}
+	n.RunUntilQuiescent(200000)
+	if viol > 0 {
+		t.Errorf("%d packets beat the zero-load bound", viol)
+	}
+}

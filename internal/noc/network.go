@@ -1,0 +1,360 @@
+package noc
+
+import (
+	"fmt"
+
+	"github.com/disco-sim/disco/internal/stats"
+)
+
+// arrival is a flit in flight on a link, applied at the start of the next
+// cycle (1-cycle link traversal).
+type arrival struct {
+	router *Router
+	port   Port
+	vc     int
+	pkt    *Packet
+	head   bool
+	tail   bool
+}
+
+// niState is a node's injection side: a FIFO of packets plus per-VC
+// streaming state. The NI fills every free local input VC (so backlogged
+// packets are visible to the router — and to the DISCO engine) but feeds
+// at most one flit per cycle over the NI link, round-robin across the
+// active streams.
+type niState struct {
+	queue    []*Packet
+	stream   []*Packet // per local VC: packet being streamed, nil if idle
+	streamed []int     // flits already streamed into the VC
+	rr       int       // round-robin pointer over VCs
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Injected uint64
+	Ejected  uint64
+	// FlitHops counts flit-link traversals between routers (energy model
+	// input); ejections and injections are counted separately.
+	FlitHops      uint64
+	FlitsSwitched uint64 // crossbar traversals (incl. ejection)
+	// FlitHopsByClass splits FlitHops by traffic class (request/response/
+	// coherence) — the Section 3.3C observation that response payloads
+	// dominate bandwidth, which justifies compressing only them.
+	FlitHopsByClass [3]uint64
+	// PacketLatency tracks inject→eject latency of ejected packets.
+	PacketLatency stats.Mean
+	// DataLatency tracks the same for response packets only.
+	DataLatency stats.Mean
+	// QueueCycles tracks per-packet accumulated stall cycles.
+	QueueCycles stats.Mean
+	// Engine statistics summed over routers.
+	Compressions   uint64
+	Decompressions uint64
+	EngineReleases uint64
+	EngineFailures uint64
+	EngineBusy     uint64
+	// EjectedWrongForm counts data packets that reached their destination
+	// in the wrong form and need a residual conversion at the NI.
+	EjectedWrongForm uint64
+}
+
+// Network is the mesh simulator. Create with New, drive with Step.
+type Network struct {
+	cfg     Config
+	Routers []*Router
+	Cycle   uint64
+
+	ni          []niState
+	pending     []arrival
+	busyScratch []bool
+	stats       Stats
+
+	// OnEject is called when a packet fully leaves the network at node.
+	// The NI-level residual de/compression latency is the receiver's
+	// concern (see internal/cmp); the network only reports the event.
+	OnEject func(node int, pkt *Packet)
+
+	tracer Tracer
+}
+
+// New builds a network from cfg.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, ni: make([]niState, cfg.Nodes())}
+	n.Routers = make([]*Router, cfg.Nodes())
+	for i := range n.Routers {
+		n.Routers[i] = newRouter(i, n)
+	}
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Inject queues a packet for injection at its source node's NI.
+func (n *Network) Inject(p *Packet) {
+	if p.Src < 0 || p.Src >= n.cfg.Nodes() || p.Dst < 0 || p.Dst >= n.cfg.Nodes() {
+		panic(fmt.Sprintf("noc: inject with bad src/dst %d->%d", p.Src, p.Dst))
+	}
+	if n.cfg.FlowControl != Wormhole && p.FlitCount > n.cfg.BufDepth {
+		panic(fmt.Sprintf("noc: %v flow control requires BufDepth >= packet size (%d > %d)",
+			n.cfg.FlowControl, p.FlitCount, n.cfg.BufDepth))
+	}
+	if p.Src == p.Dst {
+		// Local delivery bypasses the network (NI loopback).
+		p.InjectCycle = n.Cycle
+		n.stats.Injected++
+		n.eject(p.Dst, p)
+		return
+	}
+	p.InjectCycle = n.Cycle
+	n.stats.Injected++
+	n.trace(p.Src, EvInject, p)
+	n.ni[p.Src].queue = append(n.ni[p.Src].queue, p)
+}
+
+// InjectQueueLen returns the backlog at node's NI.
+func (n *Network) InjectQueueLen(node int) int {
+	ni := &n.ni[node]
+	l := len(ni.queue)
+	for _, p := range ni.stream {
+		if p != nil {
+			l++
+		}
+	}
+	return l
+}
+
+// eject delivers a packet to the node's NI.
+func (n *Network) eject(node int, pkt *Packet) {
+	pkt.EjectCycle = n.Cycle
+	n.stats.Ejected++
+	lat := float64(pkt.EjectCycle - pkt.InjectCycle)
+	n.stats.PacketLatency.Add(lat)
+	n.stats.QueueCycles.Add(float64(pkt.Queueing))
+	if pkt.Class == ClassResponse {
+		n.stats.DataLatency.Add(lat)
+	}
+	if !pkt.InWantedForm() {
+		n.stats.EjectedWrongForm++
+	}
+	n.trace(node, EvEject, pkt)
+	if n.OnEject != nil {
+		n.OnEject(node, pkt)
+	}
+}
+
+// Step advances the network by one cycle.
+func (n *Network) Step() {
+	// Phase 0: link arrivals land in input buffers.
+	pend := n.pending
+	n.pending = n.pending[:0]
+	for _, a := range pend {
+		e := a.router.in[a.port][a.vc]
+		if a.head {
+			if e.pkt != nil {
+				panic("noc: head flit arrived at occupied VC")
+			}
+			e.pkt = a.pkt
+			e.state = vcRoute
+		}
+		e.reserved--
+		e.stored++
+		e.arrived++
+		if e.lock != lockCommitted {
+			e.ready = e.arrived
+		}
+	}
+	// Idle routers (no flits present or expected) skip all stages.
+	if cap(n.busyScratch) < len(n.Routers) {
+		n.busyScratch = make([]bool, len(n.Routers))
+	}
+	busy := n.busyScratch[:len(n.Routers)]
+	for i, r := range n.Routers {
+		busy[i] = r.busy()
+	}
+	// Phase 1: DISCO engines (commit, absorb, complete).
+	for i, r := range n.Routers {
+		if busy[i] {
+			r.stageEngine()
+		}
+	}
+	// Phase 2: switch allocation + traversal.
+	for i, r := range n.Routers {
+		if busy[i] {
+			r.stageSA()
+		}
+	}
+	// Phase 3: VC allocation.
+	for i, r := range n.Routers {
+		if busy[i] {
+			r.stageVA()
+		}
+	}
+	// Phase 4: route computation.
+	for i, r := range n.Routers {
+		if busy[i] {
+			r.stageRC()
+		}
+	}
+	// Phase 5: DISCO arbitration over this cycle's losers.
+	for i, r := range n.Routers {
+		if busy[i] {
+			r.stageDiscoArb()
+		}
+	}
+	// Phase 6: NI injection (one flit per node per cycle).
+	for node := range n.ni {
+		n.stepInjection(node)
+	}
+	n.Cycle++
+}
+
+// stepInjection assigns queued packets to free local input VCs and
+// streams one flit over the NI link (round-robin across active streams).
+func (n *Network) stepInjection(node int) {
+	ni := &n.ni[node]
+	r := n.Routers[node]
+	if ni.stream == nil {
+		ni.stream = make([]*Packet, n.cfg.VCs)
+		ni.streamed = make([]int, n.cfg.VCs)
+	}
+	// Fill free VCs from the queue so waiting packets are buffered where
+	// the router (and the DISCO arbitrator) can see them.
+	for v, e := range r.in[Local] {
+		if len(ni.queue) == 0 {
+			break
+		}
+		if ni.stream[v] == nil && e.pkt == nil && e.reserved == 0 {
+			ni.stream[v] = ni.queue[0]
+			ni.queue = ni.queue[1:]
+			ni.streamed[v] = 0
+			e.pkt = ni.stream[v]
+			e.state = vcRoute
+		}
+	}
+	// One flit of NI link bandwidth, round-robin over active streams.
+	vcs := n.cfg.VCs
+	for off := 0; off < vcs; off++ {
+		v := (ni.rr + off) % vcs
+		p := ni.stream[v]
+		if p == nil {
+			continue
+		}
+		e := r.in[Local][v]
+		if e.pkt != p {
+			// The packet left the VC entirely (possible for transformed
+			// or short packets); its remaining flits were already
+			// accounted.
+			ni.stream[v] = nil
+			continue
+		}
+		if ni.streamed[v] >= p.FlitCount {
+			ni.stream[v] = nil
+			continue
+		}
+		if e.occupancy() >= n.cfg.BufDepth {
+			continue // buffer full; try another stream
+		}
+		ni.streamed[v]++
+		e.arrived++
+		e.stored++
+		if e.lock != lockCommitted {
+			e.ready = e.arrived
+		}
+		if ni.streamed[v] >= p.FlitCount {
+			ni.stream[v] = nil
+		}
+		ni.rr = (v + 1) % vcs
+		return
+	}
+}
+
+// Quiescent reports whether no packet is anywhere in the network (buffers,
+// links, NIs).
+func (n *Network) Quiescent() bool {
+	if len(n.pending) > 0 {
+		return false
+	}
+	for i := range n.ni {
+		if len(n.ni[i].queue) > 0 {
+			return false
+		}
+		for _, p := range n.ni[i].stream {
+			if p != nil {
+				return false
+			}
+		}
+	}
+	for _, r := range n.Routers {
+		quiet := true
+		r.eachVC(func(_ Port, _ int, e *vcBuf) {
+			if e.pkt != nil || e.reserved != 0 {
+				quiet = false
+			}
+		})
+		if !quiet {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilQuiescent steps until the network drains or maxCycles elapse;
+// it returns false on timeout (useful for deadlock detection in tests).
+func (n *Network) RunUntilQuiescent(maxCycles uint64) bool {
+	for i := uint64(0); i < maxCycles; i++ {
+		if n.Quiescent() {
+			return true
+		}
+		n.Step()
+	}
+	return n.Quiescent()
+}
+
+// LinkUtilization reports per-link flit utilization (flits sent over
+// elapsed cycles) as (max, mean) over all inter-router links. Useful to
+// judge how congested the fabric — as opposed to the endpoints — is.
+func (n *Network) LinkUtilization() (max, mean float64) {
+	if n.Cycle == 0 {
+		return 0, 0
+	}
+	links := 0
+	var sum float64
+	for _, r := range n.Routers {
+		for p := Port(0); p < Local; p++ {
+			if n.cfg.neighbor(r.id, p) < 0 {
+				continue
+			}
+			links++
+			u := float64(r.linkFlits[p]) / float64(n.Cycle)
+			sum += u
+			if u > max {
+				max = u
+			}
+		}
+	}
+	if links == 0 {
+		return 0, 0
+	}
+	return max, sum / float64(links)
+}
+
+// Stats returns a snapshot of the network counters, folding in per-router
+// engine statistics.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	for _, r := range n.Routers {
+		s.FlitsSwitched += r.flitsSwitched
+		s.EngineReleases += uint64(r.engineReleases)
+		if r.engine != nil {
+			s.Compressions += r.engine.Compressions
+			s.Decompressions += r.engine.Decompressions
+			s.EngineFailures += r.engine.Failures
+			s.EngineBusy += r.engine.BusyCycles
+		}
+	}
+	return s
+}

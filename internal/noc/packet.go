@@ -1,0 +1,167 @@
+// Package noc is a cycle-accurate simulator of the paper's on-chip
+// network (Table 2): a k×k mesh of 3-stage wormhole routers with XY
+// routing, per-port virtual channels, credit-style backpressure and
+// single-flit-per-port-per-cycle crossbars, optionally extended with the
+// DISCO in-router de/compression machinery of Sections 3.1–3.3.
+//
+// The simulator models flits at packet granularity: each virtual channel
+// holds at most one packet at a time (atomic VC allocation) and tracks how
+// many of its flits have arrived, are buffered, and have been forwarded.
+// This reproduces wormhole timing — serialization, head-of-line stalls,
+// packets spread across multiple routers — without per-flit objects.
+package noc
+
+import (
+	"fmt"
+
+	"github.com/disco-sim/disco/internal/compress"
+)
+
+// Class is the traffic class of a packet, mirroring the three packet
+// types of a cache-coherent CMP (Section 3.3C).
+type Class int
+
+// Packet classes.
+const (
+	// ClassRequest carries a command to a bank/directory/MC (single flit).
+	ClassRequest Class = iota
+	// ClassResponse carries a cache-block payload.
+	ClassResponse
+	// ClassCoherence carries invalidations/acks (single flit).
+	ClassCoherence
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassResponse:
+		return "response"
+	case ClassCoherence:
+		return "coherence"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Packet is one NoC packet. Data packets carry their functional payload so
+// in-network compression is real, not statistical.
+type Packet struct {
+	ID    uint64
+	Src   int
+	Dst   int
+	Class Class
+
+	// Compressible marks a data payload eligible for DISCO treatment.
+	Compressible bool
+	// Compressed is the packet's current wire form.
+	Compressed bool
+	// CompressionFailed latches an engine abort on incompressible content
+	// so later routers do not retry.
+	CompressionFailed bool
+	// WantCompressedAtDst is the form the destination consumes: true for
+	// NUCA banks (compressed LLC), false for cores and memory controllers.
+	WantCompressedAtDst bool
+
+	// Block is the uncompressed payload (BlockSize bytes) for data
+	// packets; nil for control packets. It is retained while compressed so
+	// the simulator can re-derive flit values.
+	Block []byte
+	// Comp is the compressed encoding; valid only while Compressed.
+	Comp compress.Compressed
+	// PayloadBytes is the current wire payload size.
+	PayloadBytes int
+	// FlitCount is head flit + payload flits in the current form.
+	FlitCount int
+
+	// Timing and bookkeeping.
+	InjectCycle uint64
+	EjectCycle  uint64
+	Hops        int
+	Conversions int    // in-network de/compressions applied to this packet
+	Queueing    uint64 // cycles spent buffered while unable to move
+
+	// Meta lets the protocol layer attach a transaction reference.
+	Meta any
+}
+
+// flitsFor returns head + payload flits for a payload of n bytes.
+func flitsFor(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return 1 + (n+compress.FlitBytes-1)/compress.FlitBytes
+}
+
+// NewControlPacket builds a single-flit request/coherence packet.
+func NewControlPacket(id uint64, src, dst int, class Class) *Packet {
+	return &Packet{ID: id, Src: src, Dst: dst, Class: class, FlitCount: 1}
+}
+
+// NewDataPacket builds an uncompressed response packet carrying block.
+func NewDataPacket(id uint64, src, dst int, block []byte, wantCompressed bool) *Packet {
+	if len(block) != compress.BlockSize {
+		panic(fmt.Sprintf("noc: data packet payload must be %d bytes", compress.BlockSize))
+	}
+	return &Packet{
+		ID: id, Src: src, Dst: dst, Class: ClassResponse,
+		Compressible:        true,
+		WantCompressedAtDst: wantCompressed,
+		Block:               block,
+		PayloadBytes:        compress.BlockSize,
+		FlitCount:           flitsFor(compress.BlockSize),
+	}
+}
+
+// NewCompressedDataPacket builds a response packet already in compressed
+// form (e.g. read from a compressed LLC bank).
+func NewCompressedDataPacket(id uint64, src, dst int, block []byte, comp compress.Compressed, wantCompressed bool) *Packet {
+	p := NewDataPacket(id, src, dst, block, wantCompressed)
+	p.ApplyCompression(comp)
+	return p
+}
+
+// ApplyCompression switches the packet to compressed form.
+func (p *Packet) ApplyCompression(c compress.Compressed) {
+	p.Compressed = true
+	p.Comp = c
+	p.PayloadBytes = c.SizeBytes()
+	p.FlitCount = flitsFor(p.PayloadBytes)
+}
+
+// ApplyDecompression switches the packet back to raw form.
+func (p *Packet) ApplyDecompression(block []byte) {
+	p.Compressed = false
+	p.Block = block
+	p.Comp = compress.Compressed{}
+	p.PayloadBytes = compress.BlockSize
+	p.FlitCount = flitsFor(compress.BlockSize)
+}
+
+// PayloadFlits returns the packet's current payload flit count.
+func (p *Packet) PayloadFlits() int { return p.FlitCount - 1 }
+
+// payloadFlitValues returns the packet's payload as 8-byte flit values in
+// its UNCOMPRESSED form — these are what a DISCO compression engine
+// absorbs. Only valid for data packets.
+func (p *Packet) payloadFlitValues(from, n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for i := from; i < from+n; i++ {
+		var v uint64
+		for b := 0; b < compress.FlitBytes; b++ {
+			v |= uint64(p.Block[i*compress.FlitBytes+b]) << uint(8*b)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// InWantedForm reports whether the packet's current form matches what its
+// destination consumes; a mismatched packet pays a residual conversion at
+// ejection.
+func (p *Packet) InWantedForm() bool {
+	if !p.Compressible {
+		return true
+	}
+	return p.Compressed == p.WantCompressedAtDst
+}

@@ -1,0 +1,617 @@
+package noc
+
+import (
+	"github.com/disco-sim/disco/internal/compress"
+	"github.com/disco-sim/disco/internal/disco"
+)
+
+// vcState tracks a virtual channel through the router pipeline.
+type vcState int
+
+const (
+	vcFree   vcState = iota // no packet
+	vcRoute                 // head arrived, awaiting route computation
+	vcVA                    // routed, awaiting downstream VC allocation
+	vcActive                // allocated, flits may traverse the switch
+)
+
+// lockState is the DISCO engine lock on a VC's packet.
+type lockState int
+
+const (
+	lockNone lockState = iota
+	// lockPending: the shadow packet is intact; a mis-predicted grant may
+	// still release it (non-blocking compression, Section 3.2 step 3).
+	lockPending
+	// lockCommitted: the engine owns the payload; the packet must wait for
+	// completion before it can be scheduled.
+	lockCommitted
+)
+
+// vcBuf is one input virtual channel holding (at most) one packet.
+//
+// Flit accounting: `arrived` counts flits that have entered this router
+// (head included); `ready` counts flits available to the switch (arrived
+// flits, or flits streamed out of the DISCO engine after a transform);
+// `sent` counts flits forwarded; `stored` counts buffer slots currently
+// held; `reserved` counts flits in flight on the incoming link.
+type vcBuf struct {
+	pkt      *Packet
+	arrived  int
+	ready    int
+	sent     int
+	stored   int
+	reserved int
+	state    vcState
+	outPort  Port
+	outVC    int
+
+	lock     lockState
+	absorbed int // payload flits handed to the engine
+
+	// lostArb marks a VA/SA loss this cycle (DISCO candidate filter).
+	lostArb bool
+	// waitCycles accumulates cycles the packet spent buffered here while
+	// unable to move (the queuing delay DISCO overlaps).
+	waitCycles uint64
+}
+
+// reset clears the VC for reuse.
+func (v *vcBuf) reset() {
+	*v = vcBuf{reserved: v.reserved} // in-flight flits (if any) keep their reservation
+}
+
+// occupancy is the number of buffer slots this VC consumes now or next
+// cycle.
+func (v *vcBuf) occupancy() int { return v.stored + v.reserved }
+
+// Router is one mesh router: a 3-stage pipeline (RC → VA/SA → ST+LT) with
+// an optional DISCO engine + arbitrator.
+type Router struct {
+	id  int
+	net *Network
+
+	in       [NumPorts][]*vcBuf
+	outOwner [NumPorts][]*Packet // downstream VC allocation table
+	vaRR     [NumPorts]int       // VA round-robin pointers (per output port)
+	saRR     [NumPorts]int       // SA round-robin pointers (per output port)
+
+	engine   *disco.Engine
+	engineVC *vcBuf // VC whose packet the engine is processing
+
+	// Stats.
+	flitsSwitched  uint64
+	flitsEjected   uint64
+	engineStarts   uint64
+	engineReleases uint64
+	// linkFlits counts flits sent out of each port (link utilization).
+	linkFlits [NumPorts]uint64
+
+	// congestionEWMA tracks buffered-flit occupancy over capacity for
+	// the adaptive-threshold extension (disco.Config.Adaptive).
+	congestionEWMA float64
+
+	// Per-cycle scratch buffers (avoid per-cycle allocation).
+	vaReqs  [NumPorts][]*vcBuf
+	saWants [NumPorts][]saWant
+	arbVCs  []*vcBuf
+	arbCand []disco.Candidate
+}
+
+// saWant is one switch-allocation request.
+type saWant struct {
+	e    *vcBuf
+	ip   Port
+	prio int
+}
+
+// busy reports whether the router holds or expects any flit.
+func (r *Router) busy() bool {
+	for p := Port(0); p < NumPorts; p++ {
+		for _, e := range r.in[p] {
+			if e.pkt != nil || e.reserved != 0 {
+				return true
+			}
+		}
+	}
+	return r.engine != nil && r.engine.Busy()
+}
+
+// newRouter wires one router.
+func newRouter(id int, net *Network) *Router {
+	r := &Router{id: id, net: net}
+	for p := Port(0); p < NumPorts; p++ {
+		r.in[p] = make([]*vcBuf, net.cfg.VCs)
+		for v := range r.in[p] {
+			r.in[p][v] = &vcBuf{}
+		}
+		r.outOwner[p] = make([]*Packet, net.cfg.VCs)
+	}
+	if net.cfg.Disco != nil {
+		r.engine = disco.NewEngine(net.cfg.Disco.Algorithm)
+	}
+	return r
+}
+
+// eachVC iterates input VCs in deterministic order.
+func (r *Router) eachVC(f func(p Port, v int, e *vcBuf)) {
+	for p := Port(0); p < NumPorts; p++ {
+		for v := range r.in[p] {
+			f(p, v, r.in[p][v])
+		}
+	}
+}
+
+// downstream returns the router behind output port p, or nil for Local /
+// mesh edge.
+func (r *Router) downstream(p Port) *Router {
+	if p == Local {
+		return nil
+	}
+	n := r.net.cfg.neighbor(r.id, p)
+	if n < 0 {
+		return nil
+	}
+	return r.net.Routers[n]
+}
+
+// downstreamOccupancy sums occupied+reserved slots of the downstream input
+// buffers behind port p — the credit_in-derived remote pressure of Fig. 3.
+func (r *Router) downstreamOccupancy(p Port) int {
+	d := r.downstream(p)
+	if d == nil {
+		return 0
+	}
+	ip := p.opposite()
+	occ := 0
+	for _, e := range d.in[ip] {
+		occ += e.occupancy()
+	}
+	return occ
+}
+
+// localContention sums buffered flits of OTHER VCs heading for output port
+// p — the credit_out-derived local pressure of Fig. 3.
+func (r *Router) localContention(p Port, self *vcBuf) int {
+	occ := 0
+	for ip := Port(0); ip < NumPorts; ip++ {
+		for _, e := range r.in[ip] {
+			if e != self && e.pkt != nil && e.state >= vcVA && e.outPort == p {
+				occ += e.stored
+			}
+		}
+	}
+	return occ
+}
+
+// --- Pipeline stages -------------------------------------------------
+
+// stageRC computes output ports for newly arrived heads.
+func (r *Router) stageRC() {
+	for p := Port(0); p < NumPorts; p++ {
+		for _, e := range r.in[p] {
+			if e.state != vcRoute {
+				continue
+			}
+			e.outPort = r.routeFor(e.pkt.Dst)
+			e.state = vcVA
+			r.net.trace(r.id, EvRoute, e.pkt)
+		}
+	}
+}
+
+// routeFor resolves the output port, applying WestFirst adaptivity (pick
+// the least-congested legal minimal direction) when configured.
+func (r *Router) routeFor(dst int) Port {
+	cfg := &r.net.cfg
+	if cfg.Routing != WestFirst {
+		return cfg.routePort(r.id, dst)
+	}
+	cands := cfg.adaptivePorts(r.id, dst)
+	switch len(cands) {
+	case 0:
+		return Local
+	case 1:
+		return cands[0]
+	}
+	best := cands[0]
+	bestOcc := r.downstreamOccupancy(best)
+	for _, p := range cands[1:] {
+		if occ := r.downstreamOccupancy(p); occ < bestOcc {
+			best, bestOcc = p, occ
+		}
+	}
+	return best
+}
+
+// stageVA allocates downstream VCs: one grant per output port per cycle,
+// round-robin among requesters, atomic (a downstream VC is granted only
+// when completely free).
+func (r *Router) stageVA() {
+	reqs := &r.vaReqs
+	for p := Port(0); p < NumPorts; p++ {
+		reqs[p] = reqs[p][:0]
+	}
+	for p := Port(0); p < NumPorts; p++ {
+		for _, e := range r.in[p] {
+			if e.state != vcVA {
+				continue
+			}
+			if e.outPort == Local {
+				// Ejection needs no downstream VC.
+				e.outVC = -1
+				e.state = vcActive
+				continue
+			}
+			reqs[e.outPort] = append(reqs[e.outPort], e)
+		}
+	}
+	for p := Port(0); p < NumPorts; p++ {
+		cand := reqs[p]
+		if len(cand) == 0 {
+			continue
+		}
+		d := r.downstream(p)
+		if d == nil {
+			// Edge port: XY routing never requests it; defensive.
+			continue
+		}
+		// Find a free downstream VC.
+		free := -1
+		ip := p.opposite()
+		for v := range r.outOwner[p] {
+			if r.outOwner[p][v] == nil && d.in[ip][v].pkt == nil && d.in[ip][v].reserved == 0 {
+				free = v
+				break
+			}
+		}
+		if free < 0 {
+			for _, e := range cand {
+				e.lostArb = true
+			}
+			continue
+		}
+		win := cand[r.vaRR[p]%len(cand)]
+		r.vaRR[p]++
+		win.outVC = free
+		win.state = vcActive
+		r.outOwner[p][free] = win.pkt
+		r.net.trace(r.id, EvVAGrant, win.pkt)
+		for _, e := range cand {
+			if e != win {
+				e.lostArb = true
+			}
+		}
+	}
+}
+
+// schedulable reports whether VC e may request the switch this cycle.
+func (r *Router) schedulable(e *vcBuf) bool {
+	if e.state != vcActive || e.sent >= e.ready {
+		return false
+	}
+	if r.net.cfg.FlowControl == StoreAndForward && e.arrived < e.pkt.FlitCount {
+		return false // the whole packet must be stored before forwarding
+	}
+	switch e.lock {
+	case lockCommitted:
+		return false
+	case lockPending:
+		cfg := r.net.cfg.Disco
+		if cfg == nil || !cfg.NonBlocking {
+			return false
+		}
+	}
+	if e.outPort != Local {
+		d := r.downstream(e.outPort)
+		dst := d.in[e.outPort.opposite()][e.outVC]
+		if dst.occupancy() >= r.net.cfg.BufDepth {
+			return false // no credit
+		}
+	}
+	return true
+}
+
+// priority implements the scheduling policy of Section 3.3B: control and
+// compressed-response packets share the high priority; compressible but
+// still-uncompressed packets are demoted when the rule is on.
+func (r *Router) priority(p *Packet) int {
+	cfg := r.net.cfg.Disco
+	if cfg != nil && cfg.LowPriorityRule &&
+		p.Compressible && !p.Compressed && !p.CompressionFailed && p.WantCompressedAtDst {
+		return 1
+	}
+	return 2
+}
+
+// stageSA arbitrates the crossbar (one flit per input port and per output
+// port) and traverses winners.
+func (r *Router) stageSA() {
+	var inUsed [NumPorts]bool
+	wants := &r.saWants
+	for p := Port(0); p < NumPorts; p++ {
+		wants[p] = wants[p][:0]
+	}
+	for ip := Port(0); ip < NumPorts; ip++ {
+		for _, e := range r.in[ip] {
+			if e.pkt == nil {
+				continue
+			}
+			if r.schedulable(e) {
+				wants[e.outPort] = append(wants[e.outPort], saWant{e, ip, r.priority(e.pkt)})
+			} else if e.state >= vcVA && e.stored > 0 {
+				// Buffered but unable to move: queueing time DISCO can use.
+				e.waitCycles++
+				e.pkt.Queueing++
+				if e.state == vcActive && e.sent < e.ready && e.lock == lockNone {
+					e.lostArb = true // blocked on credits: a contention loser too
+				}
+			}
+		}
+	}
+	for p := Port(0); p < NumPorts; p++ {
+		cand := wants[p]
+		if len(cand) == 0 {
+			continue
+		}
+		// Highest priority first; round-robin among equals; skip used
+		// input ports.
+		best := -1
+		n := len(cand)
+		start := r.saRR[p] % n
+		for off := 0; off < n; off++ {
+			i := (start + off) % n
+			if inUsed[cand[i].ip] {
+				continue
+			}
+			if best == -1 || cand[i].prio > cand[best].prio {
+				best = i
+			}
+		}
+		if best == -1 {
+			for _, w := range cand {
+				w.e.lostArb = true
+				w.e.waitCycles++
+				w.e.pkt.Queueing++
+			}
+			continue
+		}
+		r.saRR[p]++
+		for i, w := range cand {
+			if i != best {
+				w.e.lostArb = true
+				w.e.waitCycles++
+				w.e.pkt.Queueing++
+			}
+		}
+		winner := cand[best]
+		inUsed[winner.ip] = true
+		r.traverse(winner.e)
+	}
+}
+
+// traverse moves one flit of e's packet through the crossbar.
+func (r *Router) traverse(e *vcBuf) {
+	if e.lock == lockPending {
+		// Mis-predicted stall: release the shadow packet (non-blocking
+		// compression) and invalidate the engine job.
+		r.engine.Release(e.pkt.ID)
+		r.engineVC = nil
+		e.lock = lockNone
+		e.absorbed = 0
+		e.ready = e.arrived
+		r.engineReleases++
+		r.net.trace(r.id, EvEngineRelease, e.pkt)
+	}
+	pkt := e.pkt
+	e.sent++
+	if e.sent == 1 {
+		r.net.trace(r.id, EvSAGrant, pkt)
+	}
+	if e.stored > 0 {
+		e.stored--
+	}
+	r.flitsSwitched++
+	if e.outPort == Local {
+		r.flitsEjected++
+		if e.sent == pkt.FlitCount {
+			pkt.Hops++
+			r.net.eject(r.id, pkt)
+			e.reset()
+		}
+		return
+	}
+	d := r.downstream(e.outPort)
+	ip := e.outPort.opposite()
+	dst := d.in[ip][e.outVC]
+	dst.reserved++
+	r.net.pending = append(r.net.pending, arrival{
+		router: d, port: ip, vc: e.outVC, pkt: pkt,
+		head: e.sent == 1, tail: e.sent == pkt.FlitCount,
+	})
+	r.net.stats.FlitHops++
+	r.net.stats.FlitHopsByClass[pkt.Class]++
+	r.linkFlits[e.outPort]++
+	if e.sent == pkt.FlitCount {
+		pkt.Hops++
+		r.outOwner[e.outPort][e.outVC] = nil
+		e.reset()
+	}
+}
+
+// --- DISCO stages ------------------------------------------------------
+
+// stageEngine advances the router's DISCO engine: commits pending jobs,
+// absorbs newly arrived fragments, applies finished transforms.
+func (r *Router) stageEngine() {
+	if r.engine == nil {
+		return
+	}
+	e := r.engineVC
+	done := r.engine.Tick(r.net.Cycle)
+	if done != nil {
+		r.engineVC = nil
+		if e == nil || e.pkt == nil || e.pkt.ID != done.PacketID {
+			return // packet left via non-blocking release already
+		}
+		switch {
+		case done.State == disco.JobDone && done.Kind == disco.JobCompress:
+			r.net.trace(r.id, EvEngineDone, e.pkt)
+			res := done.Result()
+			if newFlits := flitsFor(res.SizeBytes()); newFlits >= e.pkt.FlitCount ||
+				newFlits > r.net.cfg.BufDepth {
+				// No flit win, or the result would not fit the VC: treat
+				// as incompressible.
+				e.pkt.CompressionFailed = true
+				e.ready = e.arrived
+				e.lock = lockNone
+				e.absorbed = 0
+				return
+			}
+			e.pkt.ApplyCompression(res)
+			e.pkt.Conversions++
+			e.arrived = e.pkt.FlitCount
+			e.ready = e.pkt.FlitCount
+			e.sent = 0
+			e.stored = e.pkt.FlitCount
+			e.lock = lockNone
+			e.absorbed = 0
+		case done.State == disco.JobDone && done.Kind == disco.JobDecompress:
+			r.net.trace(r.id, EvEngineDone, e.pkt)
+			e.pkt.ApplyDecompression(done.Block())
+			e.pkt.Conversions++
+			e.arrived = e.pkt.FlitCount
+			e.ready = e.pkt.FlitCount
+			e.sent = 0
+			// stored unchanged: the engine streams the expansion.
+			e.lock = lockNone
+		default: // aborted (incompressible content)
+			r.net.trace(r.id, EvEngineFail, e.pkt)
+			e.pkt.CompressionFailed = true
+			e.ready = e.arrived
+			e.lock = lockNone
+			e.absorbed = 0
+		}
+		return
+	}
+	if e == nil {
+		return
+	}
+	job := r.engine.Current()
+	if job == nil {
+		return
+	}
+	// Commit transition: the shadow is dropped, absorbed payload slots are
+	// freed (Section 3.2 step 3 / 3.3A separate compression).
+	if job.State == disco.JobCommitted && e.lock == lockPending {
+		e.lock = lockCommitted
+		r.net.trace(r.id, EvEngineCommit, e.pkt)
+		if job.Kind == disco.JobCompress {
+			e.stored -= e.absorbed
+			if e.stored < 1 {
+				e.stored = 1 // head flit anchors the VC
+			}
+		}
+	}
+	// Feed fragments that arrived since the last service.
+	if job.Kind == disco.JobCompress && e.lock == lockCommitted {
+		avail := e.arrived - 1 // payload flits here
+		if n := avail - e.absorbed; n > 0 {
+			r.engine.Absorb(e.pkt.payloadFlitValues(e.absorbed, n))
+			e.absorbed += n
+			e.stored -= n
+			if e.stored < 1 {
+				e.stored = 1
+			}
+		}
+	}
+}
+
+// stageDiscoArb runs the DISCO arbitrator (Fig. 3): gather this cycle's
+// VA/SA losers, score them with the confidence counter, start the engine
+// on the best candidate.
+func (r *Router) stageDiscoArb() {
+	cfg := r.net.cfg.Disco
+	if cfg == nil {
+		return
+	}
+	engineFree := !r.engine.Busy()
+	r.arbVCs = r.arbVCs[:0]
+	r.arbCand = r.arbCand[:0]
+	for p := Port(0); p < NumPorts; p++ {
+		for _, e := range r.in[p] {
+			lost := e.lostArb
+			e.lostArb = false
+			if !engineFree || !lost || e.pkt == nil || e.sent > 0 || e.lock != lockNone || e.state < vcVA {
+				continue
+			}
+			pkt := e.pkt
+			if !pkt.Compressible || pkt.CompressionFailed {
+				continue
+			}
+			if cfg.ResponseOnly && pkt.Class != ClassResponse {
+				continue
+			}
+			fullyArrived := e.arrived == pkt.FlitCount
+			var decompress bool
+			switch {
+			case pkt.Compressed && !pkt.WantCompressedAtDst && fullyArrived:
+				decompress = true
+			case !pkt.Compressed && (pkt.WantCompressedAtDst || cfg.CompressCoreBound):
+				if !cfg.SeparateFlit && !fullyArrived {
+					continue
+				}
+				if e.arrived < 2 {
+					continue // need at least one payload flit to absorb
+				}
+			default:
+				continue
+			}
+			r.arbVCs = append(r.arbVCs, e)
+			r.arbCand = append(r.arbCand, disco.Candidate{
+				RemoteOccupancy: r.downstreamOccupancy(e.outPort),
+				LocalOccupancy:  r.localContention(e.outPort, e),
+				HopsRemaining:   r.net.cfg.Hops(r.id, pkt.Dst),
+				Decompress:      decompress,
+			})
+		}
+	}
+	if cfg.Adaptive {
+		occ := 0
+		for p := Port(0); p < NumPorts; p++ {
+			for _, e := range r.in[p] {
+				occ += e.stored
+			}
+		}
+		capacity := float64(int(NumPorts) * r.net.cfg.VCs * r.net.cfg.BufDepth)
+		r.congestionEWMA = 0.95*r.congestionEWMA + 0.05*float64(occ)/capacity
+	}
+	if len(r.arbVCs) == 0 {
+		return
+	}
+	ccth, cdth := cfg.Thresholds(r.congestionEWMA)
+	pick := cfg.SelectCandidateAt(r.arbCand, ccth, cdth)
+	if pick < 0 {
+		return
+	}
+	sel := r.arbVCs[pick]
+	selCand := r.arbCand[pick]
+	pkt := sel.pkt
+	if selCand.Decompress {
+		r.engine.StartDecompress(pkt.ID, pkt.Comp, r.net.Cycle)
+	} else {
+		resident := sel.arrived - 1
+		job := r.engine.StartCompress(pkt.ID, pkt.payloadFlitValues(0, resident),
+			compress.BlockSize/compress.FlitBytes, r.net.Cycle)
+		job.SetBlock(pkt.Block)
+		sel.absorbed = resident
+	}
+	sel.lock = lockPending
+	r.engineVC = sel
+	r.engineStarts++
+	r.net.trace(r.id, EvEngineStart, pkt)
+}
+
+// Engine exposes the router's DISCO engine for diagnostics (nil when
+// DISCO is disabled).
+func (r *Router) Engine() *disco.Engine { return r.engine }

@@ -1,0 +1,102 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SweepPoint is one measurement of the classic latency-vs-offered-load
+// curve (Dally & Towles-style network characterization).
+type SweepPoint struct {
+	// InjectionRate is the offered load (packets/node/cycle).
+	InjectionRate float64
+	// AvgLatency is the mean packet latency at that load (cycles).
+	AvgLatency float64
+	// Throughput is the accepted load (packets/node/cycle).
+	Throughput float64
+	// Saturated marks points where the network failed to drain in the
+	// allotted time (offered load beyond saturation).
+	Saturated bool
+	// Compressions/Decompressions report DISCO engine activity.
+	Compressions   uint64
+	Decompressions uint64
+}
+
+// SweepConfig parameterizes a load sweep.
+type SweepConfig struct {
+	// Net is the network configuration (reconstructed per point).
+	Net Config
+	// Traffic is the load shape; InjectionRate is overridden per point.
+	Traffic TrafficConfig
+	// Rates are the offered loads to measure.
+	Rates []float64
+	// WarmCycles of traffic before the drain phase.
+	WarmCycles int
+	// DrainBudget bounds the drain phase (cycles); exceeding it marks the
+	// point saturated.
+	DrainBudget uint64
+}
+
+// DefaultSweep returns a standard uniform-traffic sweep on the Table 2
+// network.
+func DefaultSweep() SweepConfig {
+	return SweepConfig{
+		Net:         DefaultConfig(),
+		Traffic:     DefaultTraffic(),
+		Rates:       []float64{0.005, 0.01, 0.02, 0.04, 0.06, 0.08, 0.1},
+		WarmCycles:  10000,
+		DrainBudget: 600000,
+	}
+}
+
+// Sweep measures the latency-vs-load curve. Each point runs an
+// independent deterministic simulation.
+func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(cfg.Rates))
+	for _, rate := range cfg.Rates {
+		net, err := New(cfg.Net)
+		if err != nil {
+			return nil, err
+		}
+		tc := cfg.Traffic
+		tc.InjectionRate = rate
+		gen := NewTrafficGen(net, tc)
+		for i := 0; i < cfg.WarmCycles; i++ {
+			gen.Step()
+			net.Step()
+		}
+		drained := net.RunUntilQuiescent(cfg.DrainBudget)
+		s := net.Stats()
+		pt := SweepPoint{
+			InjectionRate:  rate,
+			AvgLatency:     s.PacketLatency.Mean(),
+			Throughput:     float64(s.Ejected) / float64(net.Cycle) / float64(cfg.Net.Nodes()),
+			Saturated:      !drained,
+			Compressions:   s.Compressions,
+			Decompressions: s.Decompressions,
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatSweep renders the curve as a table with an ASCII latency bar.
+func FormatSweep(points []SweepPoint) string {
+	var b strings.Builder
+	maxLat := 1.0
+	for _, p := range points {
+		if !p.Saturated && p.AvgLatency > maxLat {
+			maxLat = p.AvgLatency
+		}
+	}
+	fmt.Fprintf(&b, "%-8s %-10s %-12s %s\n", "rate", "latency", "throughput", "")
+	for _, p := range points {
+		if p.Saturated {
+			fmt.Fprintf(&b, "%-8.3f %-10s %-12.4f SATURATED\n", p.InjectionRate, "-", p.Throughput)
+			continue
+		}
+		bar := strings.Repeat("#", int(p.AvgLatency/maxLat*40+0.5))
+		fmt.Fprintf(&b, "%-8.3f %-10.1f %-12.4f %s\n", p.InjectionRate, p.AvgLatency, p.Throughput, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer receives structured simulator events. Attach one with
+// Network.SetTracer to debug routing, arbitration and DISCO engine
+// decisions; the zero-overhead default is no tracer.
+type Tracer interface {
+	// Event is called with the cycle, the router (or -1 for NI-level
+	// events), a short event kind, and the packet involved (may be nil).
+	Event(cycle uint64, router int, kind string, pkt *Packet)
+}
+
+// Event kinds emitted by the simulator.
+const (
+	EvInject        = "inject"         // packet entered an NI queue
+	EvEject         = "eject"          // packet fully delivered
+	EvRoute         = "route"          // RC computed an output port
+	EvVAGrant       = "va-grant"       // downstream VC allocated
+	EvSAGrant       = "sa-grant"       // first flit crossed the switch
+	EvEngineStart   = "engine-start"   // DISCO job started (pending)
+	EvEngineCommit  = "engine-commit"  // shadow dropped, job committed
+	EvEngineDone    = "engine-done"    // transform applied
+	EvEngineRelease = "engine-release" // shadow released (mis-prediction)
+	EvEngineFail    = "engine-fail"    // incompressible content
+)
+
+// SetTracer attaches t (nil detaches).
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// trace emits an event if a tracer is attached.
+func (n *Network) trace(router int, kind string, pkt *Packet) {
+	if n.tracer != nil {
+		n.tracer.Event(n.Cycle, router, kind, pkt)
+	}
+}
+
+// WriterTracer formats events one per line to an io.Writer.
+type WriterTracer struct {
+	W io.Writer
+	// Filter, when non-nil, drops events for which it returns false.
+	Filter func(kind string, pkt *Packet) bool
+	// Count tallies emitted events.
+	Count uint64
+}
+
+// Event implements Tracer.
+func (t *WriterTracer) Event(cycle uint64, router int, kind string, pkt *Packet) {
+	if t.Filter != nil && !t.Filter(kind, pkt) {
+		return
+	}
+	t.Count++
+	if pkt == nil {
+		fmt.Fprintf(t.W, "%8d r%02d %-14s\n", cycle, router, kind)
+		return
+	}
+	form := "raw"
+	if pkt.Compressed {
+		form = "comp"
+	}
+	fmt.Fprintf(t.W, "%8d r%02d %-14s pkt=%d %d->%d %s %s flits=%d\n",
+		cycle, router, kind, pkt.ID, pkt.Src, pkt.Dst, pkt.Class, form, pkt.FlitCount)
+}
+
+// CountingTracer counts events by kind (cheap assertion helper).
+type CountingTracer struct {
+	Counts map[string]uint64
+}
+
+// NewCountingTracer returns an empty counter.
+func NewCountingTracer() *CountingTracer {
+	return &CountingTracer{Counts: make(map[string]uint64)}
+}
+
+// Event implements Tracer.
+func (t *CountingTracer) Event(_ uint64, _ int, kind string, _ *Packet) {
+	t.Counts[kind]++
+}

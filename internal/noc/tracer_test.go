@@ -1,0 +1,75 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountingTracerEventLifecycle(t *testing.T) {
+	cfg := discoConfig()
+	n := mustNet(t, cfg)
+	tr := NewCountingTracer()
+	n.SetTracer(tr)
+	id := uint64(0)
+	for wave := 0; wave < 20; wave++ {
+		for src := 0; src < 16; src++ {
+			if src == 5 {
+				continue
+			}
+			id++
+			n.Inject(NewDataPacket(id, src, 5, compressibleBlock(int64(id)), true))
+		}
+		n.Step()
+	}
+	if !n.RunUntilQuiescent(400000) {
+		t.Fatal("no drain")
+	}
+	if tr.Counts[EvInject] != id || tr.Counts[EvEject] != id {
+		t.Errorf("inject/eject events %d/%d, want %d", tr.Counts[EvInject], tr.Counts[EvEject], id)
+	}
+	// Every packet is routed at least once per hop; at minimum id times.
+	if tr.Counts[EvRoute] < id {
+		t.Errorf("route events %d < packets %d", tr.Counts[EvRoute], id)
+	}
+	// Engine lifecycle consistency: starts = done + fail + release.
+	starts := tr.Counts[EvEngineStart]
+	ends := tr.Counts[EvEngineDone] + tr.Counts[EvEngineFail] + tr.Counts[EvEngineRelease]
+	if starts == 0 {
+		t.Fatal("no engine activity under congestion")
+	}
+	if starts != ends {
+		t.Errorf("engine starts %d != completions %d (done=%d fail=%d rel=%d)",
+			starts, ends, tr.Counts[EvEngineDone], tr.Counts[EvEngineFail], tr.Counts[EvEngineRelease])
+	}
+	// Commits never exceed starts.
+	if tr.Counts[EvEngineCommit] > starts {
+		t.Error("more commits than starts")
+	}
+}
+
+func TestWriterTracerFormatsAndFilters(t *testing.T) {
+	var sb strings.Builder
+	tr := &WriterTracer{W: &sb, Filter: func(kind string, _ *Packet) bool {
+		return kind == EvEject
+	}}
+	cfg := DefaultConfig()
+	n := mustNet(t, cfg)
+	n.SetTracer(tr)
+	n.Inject(NewControlPacket(1, 0, 3, ClassRequest))
+	if !n.RunUntilQuiescent(1000) {
+		t.Fatal("no drain")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "eject") || strings.Contains(out, "inject") {
+		t.Errorf("filter not applied:\n%s", out)
+	}
+	if tr.Count != 1 {
+		t.Errorf("Count = %d, want 1", tr.Count)
+	}
+	// Nil-packet events format without crashing.
+	tr.Filter = nil
+	tr.Event(5, 2, "custom", nil)
+	if !strings.Contains(sb.String(), "custom") {
+		t.Error("nil-packet event not formatted")
+	}
+}

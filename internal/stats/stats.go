@@ -1,0 +1,234 @@
+// Package stats provides small statistics utilities shared by the DISCO
+// simulators: online mean/variance accumulators, fixed-bucket histograms,
+// named counters and geometric means. Everything is deterministic and
+// allocation-light so it can sit on simulator hot paths.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean is an online arithmetic-mean and variance accumulator using
+// Welford's algorithm. The zero value is ready to use.
+type Mean struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one sample into the accumulator.
+func (m *Mean) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// AddN folds the same sample in count times.
+func (m *Mean) AddN(x float64, count uint64) {
+	for i := uint64(0); i < count; i++ {
+		m.Add(x)
+	}
+}
+
+// N returns the number of samples seen.
+func (m *Mean) N() uint64 { return m.n }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (m *Mean) Mean() float64 { return m.mean }
+
+// Variance returns the sample variance, or 0 with fewer than two samples.
+func (m *Mean) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (m *Mean) Max() float64 { return m.max }
+
+// Merge folds another accumulator into m (Chan et al. parallel update).
+func (m *Mean) Merge(o *Mean) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.mean += d * float64(o.n) / float64(n)
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n = n
+}
+
+// Reset returns the accumulator to its zero state.
+func (m *Mean) Reset() { *m = Mean{} }
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are
+// skipped; an empty (or all-skipped) input yields 0.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Histogram is a fixed-width bucket histogram over [0, Buckets*Width) with
+// an overflow bucket. The zero value is not usable; construct with
+// NewHistogram.
+type Histogram struct {
+	width    float64
+	counts   []uint64
+	overflow uint64
+	total    uint64
+	sum      float64
+}
+
+// NewHistogram builds a histogram with the given number of buckets, each
+// width wide. It panics on non-positive arguments.
+func NewHistogram(buckets int, width float64) *Histogram {
+	if buckets <= 0 || width <= 0 {
+		panic(fmt.Sprintf("stats: invalid histogram shape %d x %g", buckets, width))
+	}
+	return &Histogram{width: width, counts: make([]uint64, buckets)}
+}
+
+// Add records one sample. Negative samples land in bucket 0.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	if x < 0 {
+		h.counts[0]++
+		return
+	}
+	q := x / h.width
+	if q >= float64(len(h.counts)) {
+		h.overflow++
+		return
+	}
+	h.counts[int(q)]++
+}
+
+// N returns the total number of samples.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Mean returns the mean of all recorded samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// Overflow returns the count of samples above the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Percentile returns an upper bound for the p-th percentile (0<p<=100)
+// using bucket upper edges; overflow samples report +Inf.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return float64(i+1) * h.width
+		}
+	}
+	return math.Inf(1)
+}
+
+// CounterSet is a set of named uint64 counters with deterministic
+// (sorted) formatting.
+type CounterSet struct {
+	m map[string]uint64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet { return &CounterSet{m: make(map[string]uint64)} }
+
+// Inc adds delta to the named counter.
+func (c *CounterSet) Inc(name string, delta uint64) { c.m[name] += delta }
+
+// Get returns the named counter's value (0 if never incremented).
+func (c *CounterSet) Get(name string) uint64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *CounterSet) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds all counters from o into c.
+func (c *CounterSet) Merge(o *CounterSet) {
+	for k, v := range o.m {
+		c.m[k] += v
+	}
+}
+
+// String renders the counters one per line, sorted by name.
+func (c *CounterSet) String() string {
+	var b strings.Builder
+	for _, k := range c.Names() {
+		fmt.Fprintf(&b, "%-32s %d\n", k, c.m[k])
+	}
+	return b.String()
+}
+
+// Ratio returns a/b as float64, or 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

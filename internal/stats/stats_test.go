@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanBasic(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		m.Add(x)
+	}
+	if m.N() != 5 {
+		t.Fatalf("N = %d, want 5", m.N())
+	}
+	if !almostEq(m.Mean(), 3, 1e-12) {
+		t.Errorf("Mean = %g, want 3", m.Mean())
+	}
+	if !almostEq(m.Variance(), 2.5, 1e-12) {
+		t.Errorf("Variance = %g, want 2.5", m.Variance())
+	}
+	if m.Min() != 1 || m.Max() != 5 {
+		t.Errorf("Min/Max = %g/%g, want 1/5", m.Min(), m.Max())
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	var m Mean
+	if m.Mean() != 0 || m.Variance() != 0 || m.StdDev() != 0 || m.N() != 0 {
+		t.Error("zero-value Mean should report zeros")
+	}
+}
+
+func TestMeanSingleSample(t *testing.T) {
+	var m Mean
+	m.Add(7)
+	if m.Variance() != 0 {
+		t.Errorf("Variance with one sample = %g, want 0", m.Variance())
+	}
+	if m.Min() != 7 || m.Max() != 7 {
+		t.Error("Min/Max with one sample should equal the sample")
+	}
+}
+
+func TestMeanAddN(t *testing.T) {
+	var a, b Mean
+	a.AddN(4, 3)
+	for i := 0; i < 3; i++ {
+		b.Add(4)
+	}
+	if a.N() != b.N() || !almostEq(a.Mean(), b.Mean(), 1e-12) {
+		t.Error("AddN should match repeated Add")
+	}
+}
+
+func TestMeanMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var whole, a, b Mean
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*10 + 3
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEq(a.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("merged mean %g != %g", a.Mean(), whole.Mean())
+	}
+	if !almostEq(a.Variance(), whole.Variance(), 1e-6) {
+		t.Errorf("merged variance %g != %g", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Error("merged min/max mismatch")
+	}
+}
+
+func TestMeanMergeIntoEmpty(t *testing.T) {
+	var a, b Mean
+	b.Add(2)
+	b.Add(4)
+	a.Merge(&b)
+	if a.N() != 2 || !almostEq(a.Mean(), 3, 1e-12) {
+		t.Error("merge into empty should copy")
+	}
+	var empty Mean
+	a.Merge(&empty)
+	if a.N() != 2 {
+		t.Error("merging empty should be a no-op")
+	}
+}
+
+func TestMeanReset(t *testing.T) {
+	var m Mean
+	m.Add(5)
+	m.Reset()
+	if m.N() != 0 || m.Mean() != 0 {
+		t.Error("Reset should zero the accumulator")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g := GeoMean([]float64{1, 4, 16})
+	if !almostEq(g, 4, 1e-12) {
+		t.Errorf("GeoMean = %g, want 4", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Error("GeoMean of non-positive values should be 0")
+	}
+	if !almostEq(GeoMean([]float64{2, 0, 8}), 4, 1e-12) {
+		t.Error("GeoMean should skip non-positive entries")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(10, 1)
+	for _, x := range []float64{0.5, 1.5, 1.9, 9.9, 100} {
+		h.Add(x)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bucket(0) != 1 || h.Bucket(1) != 2 || h.Bucket(9) != 1 {
+		t.Error("bucket counts wrong")
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("overflow = %d, want 1", h.Overflow())
+	}
+	if !almostEq(h.Mean(), (0.5+1.5+1.9+9.9+100)/5, 1e-12) {
+		t.Errorf("Mean = %g", h.Mean())
+	}
+}
+
+func TestHistogramNegativeToBucketZero(t *testing.T) {
+	h := NewHistogram(4, 2)
+	h.Add(-3)
+	if h.Bucket(0) != 1 {
+		t.Error("negative sample should land in bucket 0")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(100, 1)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if p := h.Percentile(50); p != 50 {
+		t.Errorf("P50 = %g, want 50", p)
+	}
+	if p := h.Percentile(99); p != 99 {
+		t.Errorf("P99 = %g, want 99", p)
+	}
+	if p := h.Percentile(1); p != 1 {
+		t.Errorf("P1 = %g, want 1", p)
+	}
+}
+
+func TestHistogramPercentileOverflow(t *testing.T) {
+	h := NewHistogram(2, 1)
+	h.Add(10)
+	if !math.IsInf(h.Percentile(99), 1) {
+		t.Error("percentile over overflow bucket should be +Inf")
+	}
+}
+
+func TestHistogramEmptyPercentile(t *testing.T) {
+	h := NewHistogram(2, 1)
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestNewHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero buckets")
+		}
+	}()
+	NewHistogram(0, 1)
+}
+
+func TestCounterSet(t *testing.T) {
+	c := NewCounterSet()
+	c.Inc("b", 2)
+	c.Inc("a", 1)
+	c.Inc("b", 3)
+	if c.Get("b") != 5 || c.Get("a") != 1 || c.Get("missing") != 0 {
+		t.Error("counter values wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	o := NewCounterSet()
+	o.Inc("a", 9)
+	o.Inc("c", 1)
+	c.Merge(o)
+	if c.Get("a") != 10 || c.Get("c") != 1 {
+		t.Error("merge wrong")
+	}
+	if s := c.String(); len(s) == 0 {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator should be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("Ratio(3,4) != 0.75")
+	}
+}
+
+// Property: Welford mean equals naive mean for any input.
+func TestMeanMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		var m Mean
+		sum := 0.0
+		for _, x := range clean {
+			m.Add(x)
+			sum += x
+		}
+		if len(clean) == 0 {
+			return m.Mean() == 0
+		}
+		naive := sum / float64(len(clean))
+		return almostEq(m.Mean(), naive, 1e-6*(1+math.Abs(naive)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram total equals samples added, and bucket sum + overflow
+// equals total.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(16, 4)
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		var sum uint64
+		for i := 0; i < 16; i++ {
+			sum += h.Bucket(i)
+		}
+		return h.N() == uint64(n) && sum+h.Overflow() == h.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a plain-text trace format so the simulator can be
+// driven by externally captured access streams (the paper drives its
+// platform from gem5; anyone with real traces can convert them to this
+// format instead of using the synthetic profiles).
+//
+// Format: one access per line,
+//
+//	<block-addr-hex> <r|w> <gap>
+//
+// '#' starts a comment; blank lines are ignored.
+
+// WriteTrace serializes a stream of accesses.
+func WriteTrace(w io.Writer, accs []Access) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# disco trace v1: <block-addr-hex> <r|w> <gap>")
+	for _, a := range accs {
+		op := "r"
+		if a.Write {
+			op = "w"
+		}
+		if _, err := fmt.Fprintf(bw, "%x %s %d\n", a.Addr, op, a.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace file.
+func ReadTrace(r io.Reader) ([]Access, error) {
+	var out []Access
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		addr, err := strconv.ParseUint(fields[0], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[0])
+		}
+		var write bool
+		switch fields[1] {
+		case "r":
+		case "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[1])
+		}
+		gap, err := strconv.Atoi(fields[2])
+		if err != nil || gap < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad gap %q", lineNo, fields[2])
+		}
+		out = append(out, Access{Addr: addr, Write: write, Gap: gap})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream produces one core's memory accesses; both the synthetic
+// Generator and replayed file traces implement it.
+type Stream interface {
+	// Next returns the next access. Implementations must be infinite
+	// (replay streams loop).
+	Next() Access
+}
+
+// Replay replays a recorded access list, looping at the end so it can
+// drive runs of any length.
+type Replay struct {
+	accs []Access
+	pos  int
+	// Loops counts how many times the stream wrapped (diagnostics).
+	Loops int
+}
+
+// NewReplay wraps a non-empty access list; it panics on an empty list
+// (caller bug).
+func NewReplay(accs []Access) *Replay {
+	if len(accs) == 0 {
+		panic("trace: replay of empty trace")
+	}
+	return &Replay{accs: accs}
+}
+
+// Next implements Stream.
+func (r *Replay) Next() Access {
+	a := r.accs[r.pos]
+	r.pos++
+	if r.pos == len(r.accs) {
+		r.pos = 0
+		r.Loops++
+	}
+	return a
+}
+
+// Record captures n accesses from a generator (e.g. to snapshot a
+// synthetic workload into a shareable trace file).
+func Record(s Stream, n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := ByName("vips")
+	g := NewGenerator(&p, 0, 3)
+	orig := Record(g, 500)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("length %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if orig[i] != back[i] {
+			t.Fatalf("access %d differs: %+v vs %+v", i, orig[i], back[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"xyz r 0\n",         // bad address
+		"10 q 0\n",          // bad op
+		"10 r -1\n",         // negative gap
+		"10 r\n",            // missing field
+		"10 r 0 extra oh\n", // too many fields... (4 fields? "extra oh" makes 5)
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestReadTraceSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1f w 3\n   \n# tail\n20 r 0\n"
+	accs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 2 || accs[0].Addr != 0x1f || !accs[0].Write || accs[0].Gap != 3 {
+		t.Fatalf("parsed %+v", accs)
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	r := NewReplay([]Access{{Addr: 1}, {Addr: 2}})
+	seq := []uint64{1, 2, 1, 2, 1}
+	for i, want := range seq {
+		if got := r.Next().Addr; got != want {
+			t.Fatalf("step %d: got %d want %d", i, got, want)
+		}
+	}
+	if r.Loops != 2 {
+		t.Errorf("Loops = %d, want 2", r.Loops)
+	}
+}
+
+func TestReplayEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewReplay(nil)
+}
+
+func TestGeneratorImplementsStream(t *testing.T) {
+	p, _ := ByName("vips")
+	var s Stream = NewGenerator(&p, 0, 1)
+	if s.Next().Addr == 0 {
+		t.Log("first access at address 0 (allowed)") // just exercise the interface
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+// Profiles returns the 12 synthetic PARSEC-2.1 stand-ins used by the
+// evaluation (Figs. 5–8). Knobs were chosen to span the behaviours that
+// drive the paper's results:
+//
+//   - footprint vs. the 4 MB LLC → L2 miss rate & capacity sensitivity
+//     (canneal/streamcluster spill; swaptions/blackscholes fit);
+//   - MeanGap → memory intensity and hence NoC load;
+//   - SharedFraction → coherence traffic share;
+//   - Mix → per-benchmark compressibility (float-heavy codes compress
+//     mildly, integer/pointer codes compress well, media/hash data barely).
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "blackscholes", FootprintBlocks: 768, SharedBlocks: 512,
+			SharedFraction: 0.05, ReadFraction: 0.85, SharedWriteFraction: 0.02, MeanGap: 12, ZipfS: 1.80, Seed: 101,
+			Mix: PatternMix{Float: 0.45, Narrow: 0.20, Zero: 0.20, Random: 0.15}},
+		{Name: "bodytrack", FootprintBlocks: 1536, SharedBlocks: 1024,
+			SharedFraction: 0.12, ReadFraction: 0.75, SharedWriteFraction: 0.02, MeanGap: 6, ZipfS: 1.65, Seed: 102,
+			Mix: PatternMix{Float: 0.30, Narrow: 0.30, Zero: 0.15, Text: 0.05, Random: 0.20}},
+		{Name: "canneal", FootprintBlocks: 6144, SharedBlocks: 4096,
+			SharedFraction: 0.20, ReadFraction: 0.80, SharedWriteFraction: 0.02, MeanGap: 3, ZipfS: 1.45, Seed: 103,
+			Mix: PatternMix{Pointer: 0.45, Narrow: 0.20, Zero: 0.10, Random: 0.25}},
+		{Name: "dedup", FootprintBlocks: 3072, SharedBlocks: 2048,
+			SharedFraction: 0.15, ReadFraction: 0.70, SharedWriteFraction: 0.02, MeanGap: 5, ZipfS: 1.60, Seed: 104,
+			Mix: PatternMix{Text: 0.25, Repeat: 0.10, Narrow: 0.15, Zero: 0.15, Random: 0.35}},
+		{Name: "facesim", FootprintBlocks: 4096, SharedBlocks: 2048,
+			SharedFraction: 0.10, ReadFraction: 0.75, SharedWriteFraction: 0.02, MeanGap: 5, ZipfS: 1.60, Seed: 105,
+			Mix: PatternMix{Float: 0.50, Zero: 0.15, Narrow: 0.15, Random: 0.20}},
+		{Name: "ferret", FootprintBlocks: 2048, SharedBlocks: 2048,
+			SharedFraction: 0.18, ReadFraction: 0.80, SharedWriteFraction: 0.02, MeanGap: 6, ZipfS: 1.65, Seed: 106,
+			Mix: PatternMix{Narrow: 0.30, Float: 0.25, Text: 0.10, Zero: 0.10, Random: 0.25}},
+		{Name: "fluidanimate", FootprintBlocks: 3072, SharedBlocks: 1536,
+			SharedFraction: 0.12, ReadFraction: 0.70, SharedWriteFraction: 0.02, MeanGap: 5, ZipfS: 1.60, Seed: 107,
+			Mix: PatternMix{Float: 0.55, Zero: 0.15, Narrow: 0.10, Random: 0.20}},
+		{Name: "freqmine", FootprintBlocks: 2048, SharedBlocks: 1024,
+			SharedFraction: 0.10, ReadFraction: 0.85, SharedWriteFraction: 0.02, MeanGap: 8, ZipfS: 1.70, Seed: 108,
+			Mix: PatternMix{Narrow: 0.45, Zero: 0.20, Pointer: 0.15, Random: 0.20}},
+		{Name: "streamcluster", FootprintBlocks: 8192, SharedBlocks: 1024,
+			SharedFraction: 0.08, ReadFraction: 0.90, SharedWriteFraction: 0.02, MeanGap: 2, ZipfS: 1.40, Seed: 109,
+			Mix: PatternMix{Float: 0.45, Narrow: 0.20, Zero: 0.15, Random: 0.20}},
+		{Name: "swaptions", FootprintBlocks: 512, SharedBlocks: 256,
+			SharedFraction: 0.05, ReadFraction: 0.80, SharedWriteFraction: 0.02, MeanGap: 14, ZipfS: 1.80, Seed: 110,
+			Mix: PatternMix{Float: 0.40, Narrow: 0.25, Zero: 0.20, Random: 0.15}},
+		{Name: "vips", FootprintBlocks: 2048, SharedBlocks: 512,
+			SharedFraction: 0.10, ReadFraction: 0.65, SharedWriteFraction: 0.02, MeanGap: 5, ZipfS: 1.65, Seed: 111,
+			Mix: PatternMix{Narrow: 0.40, Zero: 0.20, Repeat: 0.10, Random: 0.30}},
+		{Name: "x264", FootprintBlocks: 4096, SharedBlocks: 2048,
+			SharedFraction: 0.18, ReadFraction: 0.70, SharedWriteFraction: 0.02, MeanGap: 3, ZipfS: 1.50, Seed: 112,
+			Mix: PatternMix{Narrow: 0.30, Repeat: 0.10, Zero: 0.15, Random: 0.45}},
+	}
+}
+
+// ByName returns the named profile, or false.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names lists all profile names in evaluation order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i := range ps {
+		out[i] = ps[i].Name
+	}
+	return out
+}
