@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build lint vet fmt test race fuzz-smoke ci
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# discolint is the repo's own static-analysis suite (internal/lint):
+# determinism and conservation invariants. Zero findings is the gate.
+lint: vet fmt
+	$(GO) run ./cmd/discolint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short native-fuzzing pass over the compressor decoders.
+fuzz-smoke:
+	$(GO) test -run TestNone -fuzz=Fuzz -fuzztime=10s ./internal/compress
+
+ci: build lint race fuzz-smoke

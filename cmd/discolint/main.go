@@ -1,0 +1,97 @@
+// Command discolint runs the repo's custom static-analysis suite (see
+// internal/lint) over the module:
+//
+//	go run ./cmd/discolint ./...          # whole repo (CI invocation)
+//	go run ./cmd/discolint ./internal/noc # one package
+//	go run ./cmd/discolint -list          # analyzer inventory
+//
+// Exit status is 1 when any finding is reported, 2 on usage or load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/disco-sim/disco/internal/lint"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		only   = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		strict = flag.Bool("type-errors", false, "also fail on type-check errors in analyzed packages")
+	)
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discolint:", err)
+		os.Exit(2)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discolint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discolint:", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		if *strict {
+			for _, terr := range pkg.TypeErrors {
+				findings++
+				fmt.Fprintf(os.Stderr, "%v (type error)\n", terr)
+			}
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discolint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			findings++
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "discolint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -analyzers flag.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

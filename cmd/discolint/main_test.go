@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/disco-sim/disco/internal/lint"
+)
+
+// TestRepoIsClean is the lint regression gate: the full analyzer suite
+// over the whole module must report zero findings. A failure here means
+// a change reintroduced a determinism or conservation hazard (or needs
+// a justified //lint:ignore recorded in CHANGES.md).
+func TestRepoIsClean(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("Run(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatalf("selectAnalyzers(\"\"): %v", err)
+	}
+	if len(all) != len(lint.All()) {
+		t.Errorf("empty flag selected %d analyzers, want all %d", len(all), len(lint.All()))
+	}
+
+	subset, err := selectAnalyzers("nodeterminism, statwidth")
+	if err != nil {
+		t.Fatalf("selectAnalyzers subset: %v", err)
+	}
+	if len(subset) != 2 || subset[0].Name != "nodeterminism" || subset[1].Name != "statwidth" {
+		t.Errorf("subset selection wrong: %v", subset)
+	}
+
+	if _, err := selectAnalyzers("nosuchcheck"); err == nil {
+		t.Error("unknown analyzer name did not error")
+	}
+}

@@ -71,7 +71,7 @@ func main() {
 			os.Exit(1)
 		}
 		if err := experiments.BatchCSV(o, *alg, f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			fmt.Fprintln(os.Stderr, "discosim:", err)
 			os.Exit(1)
 		}

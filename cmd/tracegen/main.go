@@ -45,7 +45,7 @@ func run(bench string, ops, cores int, seed int64, out string) error {
 			return err
 		}
 		if err := trace.WriteTrace(f, accs); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

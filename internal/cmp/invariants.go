@@ -2,6 +2,7 @@ package cmp
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/disco-sim/disco/internal/cache"
 )
@@ -33,7 +34,15 @@ func (s *System) CheckInvariants() []string {
 			holders[addr] = append(holders[addr], holder{tile, st})
 		})
 	}
-	for addr, hs := range holders {
+	// Report in address order: violation output must be deterministic
+	// (map iteration order is randomized).
+	addrs := make([]cache.Addr, 0, len(holders))
+	for addr := range holders {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		hs := holders[addr]
 		writers := 0
 		for _, h := range hs {
 			if h.st == cache.Modified || h.st == cache.Exclusive {

@@ -1,0 +1,128 @@
+package cmp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/disco-sim/disco/internal/cache"
+)
+
+// freshSys builds an idle system whose caches are empty: a clean slate
+// for corrupting state one invariant at a time.
+func freshSys(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(quickCfg(Baseline, "vips"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return sys
+}
+
+// hasViolation reports whether any reported violation contains want.
+func hasViolation(got []string, want string) bool {
+	for _, v := range got {
+		if strings.Contains(v, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckInvariantsCleanOnFreshSystem(t *testing.T) {
+	sys := freshSys(t)
+	if v := sys.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("fresh system reports violations: %v", v)
+	}
+}
+
+// installLine puts addr in its home bank with a registered owner, the
+// state every corruption below starts from.
+func installLine(t *testing.T, sys *System, addr cache.Addr, owner int) *cache.Line {
+	t.Helper()
+	line, _ := sys.banks[sys.homeOf(addr)].Insert(addr, 64, false)
+	if line == nil {
+		t.Fatal("bank Insert failed on an empty bank")
+	}
+	line.Owner = owner
+	return line
+}
+
+// Invariant 1: at most one L1 may hold a line in M or E.
+func TestCheckInvariantsFlagsMultipleWriters(t *testing.T) {
+	sys := freshSys(t)
+	addr := cache.Addr(0x40)
+	installLine(t, sys, addr, 0)
+	sys.l1s[0].Insert(addr, cache.Modified)
+	sys.l1s[1].Insert(addr, cache.Modified)
+	v := sys.CheckInvariants()
+	if !hasViolation(v, "simultaneous M/E holders") {
+		t.Errorf("two M holders not reported: %v", v)
+	}
+}
+
+// Invariant 2: every valid L1 line must be present in its home bank.
+func TestCheckInvariantsFlagsInclusionBreach(t *testing.T) {
+	sys := freshSys(t)
+	addr := cache.Addr(0x80)
+	sys.l1s[2].Insert(addr, cache.Shared) // never installed in the LLC
+	v := sys.CheckInvariants()
+	if !hasViolation(v, "absent from LLC (inclusion)") {
+		t.Errorf("inclusion breach not reported: %v", v)
+	}
+}
+
+// Invariant 3: a writable L1 copy must be the registered directory owner.
+func TestCheckInvariantsFlagsWrongOwner(t *testing.T) {
+	sys := freshSys(t)
+	addr := cache.Addr(0xC0)
+	installLine(t, sys, addr, 5) // directory says tile 5...
+	sys.l1s[3].Insert(addr, cache.Modified)
+	v := sys.CheckInvariants()
+	if !hasViolation(v, "directory owner is 5") {
+		t.Errorf("owner mismatch not reported: %v", v)
+	}
+	// A single writer with the right registration is NOT a violation.
+	sys2 := freshSys(t)
+	installLine(t, sys2, addr, 3)
+	sys2.l1s[3].Insert(addr, cache.Modified)
+	if v := sys2.CheckInvariants(); len(v) != 0 {
+		t.Errorf("correctly-owned M line flagged: %v", v)
+	}
+}
+
+// Invariant 4: at rest no line is pinned and no transaction is open.
+func TestCheckInvariantsFlagsPinnedAndOutstanding(t *testing.T) {
+	sys := freshSys(t)
+	addr := cache.Addr(0x100)
+	line := installLine(t, sys, addr, -1)
+	line.Pinned = true
+	home := sys.homeOf(addr)
+	sys.txns[home][addr] = &txn{id: 1, addr: addr, home: home}
+	v := sys.CheckInvariants()
+	if !hasViolation(v, "still pinned") {
+		t.Errorf("pinned line not reported: %v", v)
+	}
+	if !hasViolation(v, "transactions outstanding") {
+		t.Errorf("open transaction not reported: %v", v)
+	}
+}
+
+// TestCheckInvariantsDeterministicOrder corrupts several lines at once
+// and checks the report is identical across calls (violations are
+// emitted in address order, not map order).
+func TestCheckInvariantsDeterministicOrder(t *testing.T) {
+	sys := freshSys(t)
+	for i := 0; i < 8; i++ {
+		addr := cache.Addr(0x200 + i*0x40)
+		sys.l1s[i%sys.cfg.tiles()].Insert(addr, cache.Shared) // inclusion breaches
+	}
+	first := strings.Join(sys.CheckInvariants(), "\n")
+	for i := 0; i < 5; i++ {
+		if again := strings.Join(sys.CheckInvariants(), "\n"); again != first {
+			t.Fatalf("violation order unstable:\n--- first\n%s\n--- again\n%s", first, again)
+		}
+	}
+	if strings.Count(first, "inclusion") != 8 {
+		t.Errorf("expected 8 inclusion violations, got:\n%s", first)
+	}
+}

@@ -204,3 +204,37 @@ func TestIncrementalDeltaFragmentSizesConsistent(t *testing.T) {
 		t.Errorf("padded bits not monotone in fragmentation: %d, %d, %d", whole, two, four)
 	}
 }
+
+// FuzzDecompress is the native fuzz target behind `make fuzz-smoke`
+// (go test -fuzz=Fuzz): arbitrary payloads through every decoder must
+// return a full block or ErrCorrupt — never panic, never a short block.
+// Compressing the result of a successful decode must round-trip.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{}, uint16(1), false)
+	f.Add([]byte{0x00, 0xFF, 0x13, 0x37}, uint16(32), false)
+	f.Add(make([]byte, BlockSize), uint16(8*BlockSize), true)
+	algs := trained(f)
+	f.Fuzz(func(t *testing.T, payload []byte, sizeBits uint16, stored bool) {
+		c := Compressed{
+			Alg:      "fuzz",
+			SizeBits: int(sizeBits%600) + 1,
+			Stored:   stored,
+			Payload:  payload,
+		}
+		for _, alg := range algs {
+			out, err := alg.Decompress(c)
+			if err != nil {
+				continue
+			}
+			if len(out) != BlockSize {
+				t.Fatalf("%s: decoded %d bytes, want %d", alg.Name(), len(out), BlockSize)
+			}
+			// A decodable block must survive its own compress cycle.
+			rt := alg.Compress(out)
+			back, err := alg.Decompress(rt)
+			if err != nil || !bytes.Equal(back, out) {
+				t.Fatalf("%s: round trip after fuzz decode failed: %v", alg.Name(), err)
+			}
+		}
+	})
+}

@@ -1,0 +1,12 @@
+package lint
+
+// All returns the discolint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		CreditAccess,
+		FlitConserve,
+		ErrcheckSim,
+		StatWidth,
+	}
+}

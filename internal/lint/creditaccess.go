@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CreditAccess protects the flit/credit conservation bookkeeping of the
+// NoC's virtual channels. The fields of vcBuf that feed buffer
+// occupancy — and through it the confidence-counter inputs of DISCO's
+// Eq. 1/Eq. 2 (remote and local pressure) — may be mutated only by
+// vcBuf's own accessor methods, which maintain the coupled updates
+// (e.g. a link arrival consumes a reservation AND occupies a slot AND
+// advances the arrival count). A stray `e.stored--` in a pipeline stage
+// silently corrupts credit accounting; this analyzer makes that a lint
+// error instead of a simulation heisenbug.
+var CreditAccess = &Analyzer{
+	Name: "creditaccess",
+	Doc:  "credit/occupancy fields of noc.vcBuf may be written only by vcBuf accessor methods",
+	Match: func(path string) bool {
+		return strings.HasSuffix(path, "internal/noc")
+	},
+	Run: runCreditAccess,
+}
+
+// creditFields are the conserved per-VC counters.
+var creditFields = map[string]bool{
+	"stored": true, "reserved": true, "arrived": true,
+	"ready": true, "sent": true, "absorbed": true,
+}
+
+func runCreditAccess(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if receiverIsVCBuf(fd) {
+				continue // accessor methods own the fields
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkCreditWrite(pass, fd, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkCreditWrite(pass, fd, n.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCreditWrite reports lhs when it is a credit field of a vcBuf.
+func checkCreditWrite(pass *Pass, fd *ast.FuncDecl, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok || !creditFields[sel.Sel.Name] {
+		return
+	}
+	if !isVCBufType(pass.TypeOf(sel.X)) {
+		return
+	}
+	pass.Reportf(sel.Pos(), "direct write to vcBuf.%s outside its accessor methods breaks credit conservation; add or use a vcBuf method (func %s)", sel.Sel.Name, fd.Name.Name)
+}
+
+// receiverIsVCBuf reports whether fd is a method on vcBuf / *vcBuf.
+func receiverIsVCBuf(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "vcBuf"
+}
+
+// isVCBufType reports whether t is vcBuf or *vcBuf.
+func isVCBufType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "vcBuf"
+}

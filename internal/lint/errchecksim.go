@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckSim flags silently dropped errors: a call used as a bare
+// statement whose results include an error. Trace and result files are
+// the simulator's ground truth — a swallowed short-write turns into a
+// silently truncated trace and a wrong figure.
+//
+// Deliberate discards stay possible and visible:
+//
+//   - assign the error to _ explicitly (`_ = w.Flush()`), or
+//   - defer the call (`defer f.Close()`), the conventional cleanup idiom.
+//
+// Writers that cannot fail (strings.Builder, bytes.Buffer — their Write
+// methods are documented to always return a nil error) and console
+// logging (fmt.Print* and fmt.Fprint* to os.Stdout/os.Stderr) are
+// exempt, as are writes through a *text/tabwriter.Writer, which buffers
+// and surfaces its error at Flush — checking Flush is what matters.
+var ErrcheckSim = &Analyzer{
+	Name: "errchecksim",
+	Doc:  "calls returning an error must not be used as bare statements",
+	Run:  runErrcheckSim,
+}
+
+func runErrcheckSim(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return false // deferred cleanup may drop its error
+			}
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false
+			}
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || allowedDrop(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is silently dropped; handle it or assign to _ explicitly", calleeName(call))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether call's results include an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// allowedDrop whitelists console logging and writers that cannot fail.
+func allowedDrop(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print*/Fprint* handling.
+	if importedPkgPath(pass, sel.X) == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println":
+			return true // stdout console logging
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && infallibleWriter(pass, call.Args[0])
+		}
+		return false
+	}
+	// Methods on infallible writers (Builder.WriteString and friends).
+	if selInfo, ok := pass.Info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+		return infallibleWriterType(selInfo.Recv())
+	}
+	return false
+}
+
+// infallibleWriter reports whether e is a writer whose errors are
+// either impossible or surfaced elsewhere.
+func infallibleWriter(pass *Pass, e ast.Expr) bool {
+	// os.Stdout / os.Stderr: console logging.
+	if sel, ok := e.(*ast.SelectorExpr); ok && importedPkgPath(pass, sel.X) == "os" {
+		if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+			return true
+		}
+	}
+	return infallibleWriterType(pass.TypeOf(e))
+}
+
+// infallibleWriterType matches the concrete writer types exempted in
+// the analyzer doc.
+func infallibleWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "text/tabwriter.Writer":
+		return true
+	}
+	return false
+}
+
+// calleeName renders the called expression for the diagnostic.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return "(...)." + fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FlitConserve guards the packet-size/flit-count coupling. A NoC packet
+// carries both its wire payload size (PayloadBytes, plus the Block/Comp
+// payload forms and the Compressed flag) and the derived FlitCount; the
+// separate-compression merge path's classic bug is mutating one without
+// the other, which silently breaks flit conservation (the router streams
+// the wrong number of flits and the invariant checks fire far from the
+// cause). The analyzer applies to any struct that declares both a
+// PayloadBytes and a FlitCount field and enforces, per function:
+//
+//   - a write to PayloadBytes/Block/Comp/Compressed requires a write to
+//     FlitCount in the same function (as ApplyCompression does);
+//   - a write to FlitCount requires a payload-field write;
+//   - a composite literal that sets payload fields must set FlitCount.
+var FlitConserve = &Analyzer{
+	Name: "flitconserve",
+	Doc:  "payload-size mutations of packet-like structs must recompute the flit count",
+	Run:  runFlitConserve,
+}
+
+// payloadFields are the wire-form fields whose mutation changes the
+// payload size.
+var payloadFields = map[string]bool{
+	"PayloadBytes": true, "Block": true, "Comp": true, "Compressed": true,
+}
+
+func runFlitConserve(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFlitFunc(pass, fd)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if ok {
+				checkFlitLiteral(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFlitFunc enforces the paired-write rule inside one function.
+func checkFlitFunc(pass *Pass, fd *ast.FuncDecl) {
+	var payloadWrites, flitWrites []*ast.SelectorExpr
+	record := func(lhs ast.Expr) {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || !isPacketLike(pass.TypeOf(sel.X)) {
+			return
+		}
+		switch {
+		case payloadFields[sel.Sel.Name]:
+			payloadWrites = append(payloadWrites, sel)
+		case sel.Sel.Name == "FlitCount":
+			flitWrites = append(flitWrites, sel)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		}
+		return true
+	})
+	if len(payloadWrites) > 0 && len(flitWrites) == 0 {
+		sel := payloadWrites[0]
+		pass.Reportf(sel.Pos(), "%s mutates payload field %s without recomputing FlitCount", fd.Name.Name, sel.Sel.Name)
+	}
+	if len(flitWrites) > 0 && len(payloadWrites) == 0 {
+		sel := flitWrites[0]
+		pass.Reportf(sel.Pos(), "%s changes FlitCount without a payload mutation to justify it", fd.Name.Name)
+	}
+}
+
+// checkFlitLiteral flags packet-like composite literals that set payload
+// fields but omit FlitCount.
+func checkFlitLiteral(pass *Pass, lit *ast.CompositeLit) {
+	if !isPacketLike(pass.TypeOf(lit)) {
+		return
+	}
+	var payload ast.Expr
+	hasFlits := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if payloadFields[key.Name] && payload == nil {
+			payload = kv.Key
+		}
+		if key.Name == "FlitCount" {
+			hasFlits = true
+		}
+	}
+	if payload != nil && !hasFlits {
+		pass.Reportf(payload.Pos(), "packet literal sets payload fields but not FlitCount")
+	}
+}
+
+// isPacketLike reports whether t (or *t) is a struct declaring both
+// PayloadBytes and FlitCount fields.
+func isPacketLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasPayload, hasFlits := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "PayloadBytes":
+			hasPayload = true
+		case "FlitCount":
+			hasFlits = true
+		}
+	}
+	return hasPayload && hasFlits
+}

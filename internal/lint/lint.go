@@ -1,0 +1,193 @@
+// Package lint implements discolint, a static-analysis suite enforcing
+// the simulator's determinism and conservation invariants (run it with
+// `go run ./cmd/discolint ./...`). The framework mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — but is
+// built on the standard library only (go/ast, go/types, go/parser), so
+// the repo stays dependency-free.
+//
+// Analyzers:
+//
+//	nodeterminism — no wall-clock time, no global math/rand, no
+//	                order-dependent iteration over maps in the sim core
+//	creditaccess  — credit/occupancy fields of noc's virtual channels may
+//	                be written only by vcBuf accessor methods
+//	flitconserve  — payload-size mutations must recompute the flit count
+//	errchecksim   — no silently dropped errors on I/O paths
+//	statwidth     — no narrowing conversions or <64-bit counters in stats
+//
+// A finding can be suppressed with a justification comment on the same
+// or the preceding line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// Suppressions must be recorded in CHANGES.md so re-anchors can audit
+// them.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package and reports findings through pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in output and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Match restricts the analyzer to packages for which it returns
+	// true (nil = all packages).
+	Match func(pkgPath string) bool
+	// Run performs the analysis.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the package's import path (fixtures may override it to
+	// impersonate a sim-core package).
+	PkgPath string
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic as file:line:col: analyzer: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.Info.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// ignoreRe matches suppression directives.
+var ignoreRe = regexp.MustCompile(`//lint:ignore\s+(\S+)\s+\S`)
+
+// Run executes the analyzers over pkg and returns the surviving
+// (non-suppressed) findings sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	diags = filterIgnored(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// filterIgnored drops findings covered by a //lint:ignore directive on
+// the same line or the line directly above.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// ignored["file:line"] holds the analyzer names suppressed there.
+	ignored := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					ignored[key] = append(ignored[key], m[1])
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		drop := false
+		for _, name := range ignored[key] {
+			if name == d.Analyzer || name == "all" {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// isSimCore reports whether path is one of the cycle-level simulator
+// packages where the determinism policy applies.
+func isSimCore(path string) bool {
+	for _, sub := range []string{"internal/noc", "internal/cmp", "internal/disco", "internal/cache", "internal/trace"} {
+		if strings.HasSuffix(path, sub) || strings.Contains(path, sub+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcFor returns the top-level function declaration enclosing pos in
+// file, or nil (for analyzers that need a finding's context).
+func funcFor(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

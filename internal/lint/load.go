@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the directory holding the sources.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker complaints that did not prevent
+	// analysis (analyzers run best-effort on partially broken packages).
+	TypeErrors []error
+}
+
+// Loader resolves and type-checks packages of one module plus their
+// standard-library dependencies. Dependency packages are checked from
+// GOROOT source with function bodies ignored (only their exported API is
+// needed), so no export data, go/packages or network access is required.
+type Loader struct {
+	fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+	ctx        build.Context
+	// imports caches dependency packages (API only) for the importer.
+	imports map[string]*types.Package
+	// fallback resolves exotic import configurations (e.g. GOROOT
+	// layouts this loader does not know) via the compiler if available.
+	fallback types.Importer
+}
+
+// NewLoader builds a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	modDir, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	// Disable cgo so constrained files resolve to their pure-Go
+	// fallbacks; the analysis never needs C symbol info.
+	ctx.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  modDir,
+		ctx:        ctx,
+		imports:    make(map[string]*types.Package),
+		fallback:   importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module directory and path.
+func findModule(dir string) (string, string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// dirFor maps an import path to a source directory.
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+	}
+	goroot := runtime.GOROOT()
+	for _, dir := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("lint: cannot resolve import %q", path)
+}
+
+// goFiles lists the build-constrained .go files of dir.
+func (l *Loader) goFiles(dir string) ([]string, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]string, 0, len(bp.GoFiles))
+	for _, f := range bp.GoFiles {
+		files = append(files, filepath.Join(dir, f))
+	}
+	return files, nil
+}
+
+// Import implements types.Importer for dependency resolution during
+// type checking. Dependencies are checked without function bodies.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.imports[path]; ok {
+		return pkg, nil
+	}
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return l.importFallback(path, err)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return l.importFallback(path, err)
+	}
+	cfg := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		Error:            func(error) {}, // tolerate issues in dependency bodies
+	}
+	pkg, err := cfg.Check(path, l.fset, files, nil)
+	if err != nil && (pkg == nil || !pkg.Complete()) {
+		return l.importFallback(path, err)
+	}
+	l.imports[path] = pkg
+	return pkg, nil
+}
+
+// importFallback retries an import through the compiler's source
+// importer before giving up.
+func (l *Loader) importFallback(path string, cause error) (*types.Package, error) {
+	if l.fallback != nil {
+		if pkg, err := l.fallback.Import(path); err == nil {
+			l.imports[path] = pkg
+			return pkg, nil
+		}
+	}
+	return nil, cause
+}
+
+// parseDir parses every build-selected file of dir.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	names, err := l.goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load parses and fully type-checks the package in dir under import
+// path pkgPath, recording complete type info for analysis. Type errors
+// are collected, not fatal: analyzers run best-effort.
+func (l *Loader) Load(dir, pkgPath string) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg := &Package{Path: pkgPath, Dir: dir, Fset: l.fset}
+	cfg := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := cfg.Check(pkgPath, l.fset, files, info)
+	pkg.Files = files
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// LoadPatterns expands go-style package patterns ("./...", "./internal/noc")
+// relative to the module root and loads each package. Directories named
+// testdata, hidden directories, and directories without Go files are
+// skipped.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirSet := make(map[string]bool)
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walkDirs(l.ModuleDir, dirSet); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			if err := l.walkDirs(root, dirSet); err != nil {
+				return nil, err
+			}
+		default:
+			dir := filepath.Join(l.ModuleDir, filepath.FromSlash(pat))
+			// A named pattern that matches nothing must be an error, not a
+			// silent clean run (a typo'd path in CI would otherwise pass).
+			if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+				return nil, fmt.Errorf("lint: pattern %q matches no directory", pat)
+			}
+			dirSet[dir] = true
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		if !l.hasGoFiles(dir) {
+			continue
+		}
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(dir, path)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walkDirs collects candidate package directories under root.
+func (l *Loader) walkDirs(root string, out map[string]bool) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		out[path] = true
+		return nil
+	})
+}
+
+// hasGoFiles reports whether dir contains at least one buildable Go file.
+func (l *Loader) hasGoFiles(dir string) bool {
+	files, err := l.goFiles(dir)
+	return err == nil && len(files) > 0
+}

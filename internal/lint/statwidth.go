@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// StatWidth guards the statistics package against quiet truncation.
+// Simulator counters run for billions of cycles; a 32-bit counter or a
+// narrowing conversion on an aggregation path wraps silently and skews
+// every derived figure. Inside internal/stats the analyzer flags:
+//
+//   - integer→integer conversions to a strictly narrower type
+//     (uint64→uint32, int→int16, ...); float→int conversions are
+//     bucketing math and stay allowed;
+//   - counter-named struct fields (count/total/hits/... suffixes)
+//     declared narrower than 64 bits.
+var StatWidth = &Analyzer{
+	Name: "statwidth",
+	Doc:  "no narrowing integer conversions or sub-64-bit counters in internal/stats",
+	Match: func(path string) bool {
+		return strings.HasSuffix(path, "internal/stats")
+	},
+	Run: runStatWidth,
+}
+
+// counterNameRe matches field names that denote monotonically growing
+// tallies.
+var counterNameRe = regexp.MustCompile(`(?i)(count|counts|counter|total|totals|hits|misses|samples|ops|cycles|overflow|injected|ejected)$`)
+
+func runStatWidth(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNarrowingConv(pass, n)
+			case *ast.StructType:
+				checkCounterFields(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNarrowingConv flags T(x) when both are integers and T is
+// strictly narrower than x's type.
+func checkNarrowingConv(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := intBits(tv.Type)
+	src := intBits(pass.TypeOf(call.Args[0]))
+	if dst == 0 || src == 0 {
+		return
+	}
+	if dst < src {
+		pass.Reportf(call.Pos(), "narrowing conversion %s(%s) can silently truncate a counter; keep 64-bit arithmetic", types.TypeString(tv.Type, nil), types.TypeString(pass.TypeOf(call.Args[0]), nil))
+	}
+}
+
+// checkCounterFields flags counter-named struct fields declared
+// narrower than 64 bits.
+func checkCounterFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		bits := intBits(pass.TypeOf(field.Type))
+		if bits == 0 || bits >= 64 {
+			continue
+		}
+		for _, name := range field.Names {
+			if counterNameRe.MatchString(name.Name) {
+				pass.Reportf(name.Pos(), "counter field %s is %d-bit; simulator counters must be 64-bit (uint64)", name.Name, bits)
+			}
+		}
+	}
+}
+
+// intBits returns the width in bits of an integer type (int/uint/uintptr
+// count as 64 on the supported 64-bit targets), or 0 for non-integers.
+func intBits(t types.Type) int {
+	if t == nil {
+		return 0
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	switch basic.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	case types.Int64, types.Uint64, types.Int, types.Uint, types.Uintptr:
+		return 64
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises the creditaccess analyzer with a miniature
+// vcBuf: credit fields may be written only by vcBuf methods.
+package fixture
+
+type vcBuf struct {
+	stored   int
+	reserved int
+	arrived  int
+
+	waitCycles uint64
+}
+
+// acceptFlit is an accessor method: writes are allowed here.
+func (v *vcBuf) acceptFlit() {
+	v.reserved--
+	v.stored++
+	v.arrived++
+}
+
+// steal mutates credit state from outside the owning type (forbidden).
+func steal(v *vcBuf) {
+	v.stored-- // want "direct write to vcBuf.stored outside its accessor methods"
+	v.waitCycles++
+}
+
+// assign uses plain assignment rather than inc/dec (still forbidden).
+func assign(v *vcBuf) {
+	v.reserved = 0 // want "direct write to vcBuf.reserved outside its accessor methods"
+}
+
+// reader only reads credit state (allowed).
+func reader(v *vcBuf) int {
+	return v.stored + v.reserved
+}
+
+type other struct{ stored int }
+
+// fine writes a same-named field of an unrelated type (allowed).
+func fine(o *other) {
+	o.stored++
+}

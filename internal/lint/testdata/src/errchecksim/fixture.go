@@ -1,0 +1,39 @@
+// Package fixture exercises the errchecksim analyzer: dropped errors on
+// I/O paths versus the allowed discard idioms.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Drops silently discards error results (forbidden).
+func Drops(w io.Writer, f *os.File) {
+	fmt.Fprintf(w, "x") // want "error result of fmt.Fprintf is silently dropped"
+	f.Sync()            // want "error result of f.Sync is silently dropped"
+}
+
+// Checked propagates the error (allowed).
+func Checked(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "x"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Explicit discards visibly or defers cleanup (allowed).
+func Explicit(f *os.File) {
+	_ = f.Sync()
+	defer f.Close()
+}
+
+// Infallible writes to writers that cannot fail and to the console
+// (allowed).
+func Infallible(b *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "x")
+	b.WriteString("x")
+	fmt.Fprintf(b, "x")
+}

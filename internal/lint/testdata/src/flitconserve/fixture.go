@@ -1,0 +1,51 @@
+// Package fixture exercises the flitconserve analyzer with a miniature
+// packet: payload mutations must recompute the flit count.
+package fixture
+
+// Packet mirrors the payload/flit coupling of noc.Packet.
+type Packet struct {
+	PayloadBytes int
+	FlitCount    int
+	Block        []byte
+	Compressed   bool
+	Hops         int
+}
+
+func flitsFor(n int) int { return 1 + (n+7)/8 }
+
+// Shrink recomputes the flit count with the payload (allowed).
+func Shrink(p *Packet, n int) {
+	p.PayloadBytes = n
+	p.FlitCount = flitsFor(n)
+}
+
+// Corrupt changes the payload size and forgets the flit count
+// (forbidden: the classic separate-compression merge bug).
+func Corrupt(p *Packet, n int) {
+	p.PayloadBytes = n // want "Corrupt mutates payload field PayloadBytes without recomputing FlitCount"
+}
+
+// Pad grows the flit count without touching the payload (forbidden).
+func Pad(p *Packet) {
+	p.FlitCount++ // want "Pad changes FlitCount without a payload mutation"
+}
+
+// Bookkeep touches unrelated fields only (allowed).
+func Bookkeep(p *Packet) {
+	p.Hops++
+}
+
+// NewData constructs with both fields (allowed).
+func NewData(n int) *Packet {
+	return &Packet{PayloadBytes: n, FlitCount: flitsFor(n)}
+}
+
+// NewBroken constructs with a payload but no flit count (forbidden).
+func NewBroken(n int) *Packet {
+	return &Packet{PayloadBytes: n} // want "packet literal sets payload fields but not FlitCount"
+}
+
+// NewControl carries no payload: one head flit is consistent (allowed).
+func NewControl() *Packet {
+	return &Packet{FlitCount: 1}
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises the //lint:ignore suppression directive:
+// every finding here is justified away, so a run must report nothing.
+package fixture
+
+import "time"
+
+// Stamp reads the wall clock but carries a suppression on the
+// preceding line.
+func Stamp() int64 {
+	//lint:ignore nodeterminism fixture demonstrating suppression
+	return time.Now().Unix()
+}
+
+// StampInline carries the suppression on the same line.
+func StampInline() int64 {
+	return time.Now().Unix() //lint:ignore all fixture demonstrating suppression
+}

@@ -1,0 +1,70 @@
+// Package fixture exercises the nodeterminism analyzer: one flagged and
+// one allowed variant of each rule.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock (forbidden in the sim core).
+func Stamp() int64 {
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+}
+
+// GlobalRand draws from the process-global generator (forbidden).
+func GlobalRand() int {
+	return rand.Intn(8) // want "rand.Intn uses process-global RNG state"
+}
+
+// InjectedRand draws from an injected, seeded generator (allowed).
+func InjectedRand(rng *rand.Rand) int {
+	return rng.Intn(8)
+}
+
+// SeededSource constructs a deterministic generator (allowed).
+func SeededSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// PrintMap emits output in map order (forbidden).
+func PrintMap(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "Println inside range over map emits output"
+	}
+}
+
+// CollectUnsorted accumulates map keys without sorting (forbidden).
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map is order-dependent"
+	}
+	return keys
+}
+
+// CollectSorted accumulates map keys and sorts them (allowed).
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LocalAccumulation appends to a loop-local slice (allowed: the order
+// cannot escape an iteration).
+func LocalAccumulation(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var squares []int
+		for _, v := range vs {
+			squares = append(squares, v*v)
+		}
+		total += len(squares)
+	}
+	return total
+}

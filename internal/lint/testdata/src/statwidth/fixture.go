@@ -1,0 +1,32 @@
+// Package fixture exercises the statwidth analyzer: counter widths and
+// narrowing conversions.
+package fixture
+
+// wide declares 64-bit counters (allowed).
+type wide struct {
+	total uint64
+	hits  uint64
+	ratio float64
+}
+
+// narrow declares undersized counters (forbidden).
+type narrow struct {
+	total uint32 // want "counter field total is 32-bit"
+	hits  uint16 // want "counter field hits is 16-bit"
+	label string
+}
+
+// Truncate narrows an integer (forbidden).
+func Truncate(x uint64) uint32 {
+	return uint32(x) // want "narrowing conversion uint32"
+}
+
+// Widen grows the representation (allowed).
+func Widen(x uint32) uint64 {
+	return uint64(x)
+}
+
+// Bucket converts float bucketing math (allowed).
+func Bucket(x float64) int {
+	return int(x)
+}

@@ -160,12 +160,7 @@ func (n *Network) Step() {
 			e.pkt = a.pkt
 			e.state = vcRoute
 		}
-		e.reserved--
-		e.stored++
-		e.arrived++
-		if e.lock != lockCommitted {
-			e.ready = e.arrived
-		}
+		e.acceptFlit()
 	}
 	// Idle routers (no flits present or expected) skip all stages.
 	if cap(n.busyScratch) < len(n.Routers) {
@@ -259,11 +254,7 @@ func (n *Network) stepInjection(node int) {
 			continue // buffer full; try another stream
 		}
 		ni.streamed[v]++
-		e.arrived++
-		e.stored++
-		if e.lock != lockCommitted {
-			e.ready = e.arrived
-		}
+		e.acceptNIFlit()
 		if ni.streamed[v] >= p.FlitCount {
 			ni.stream[v] = nil
 		}

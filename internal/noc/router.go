@@ -5,66 +5,6 @@ import (
 	"github.com/disco-sim/disco/internal/disco"
 )
 
-// vcState tracks a virtual channel through the router pipeline.
-type vcState int
-
-const (
-	vcFree   vcState = iota // no packet
-	vcRoute                 // head arrived, awaiting route computation
-	vcVA                    // routed, awaiting downstream VC allocation
-	vcActive                // allocated, flits may traverse the switch
-)
-
-// lockState is the DISCO engine lock on a VC's packet.
-type lockState int
-
-const (
-	lockNone lockState = iota
-	// lockPending: the shadow packet is intact; a mis-predicted grant may
-	// still release it (non-blocking compression, Section 3.2 step 3).
-	lockPending
-	// lockCommitted: the engine owns the payload; the packet must wait for
-	// completion before it can be scheduled.
-	lockCommitted
-)
-
-// vcBuf is one input virtual channel holding (at most) one packet.
-//
-// Flit accounting: `arrived` counts flits that have entered this router
-// (head included); `ready` counts flits available to the switch (arrived
-// flits, or flits streamed out of the DISCO engine after a transform);
-// `sent` counts flits forwarded; `stored` counts buffer slots currently
-// held; `reserved` counts flits in flight on the incoming link.
-type vcBuf struct {
-	pkt      *Packet
-	arrived  int
-	ready    int
-	sent     int
-	stored   int
-	reserved int
-	state    vcState
-	outPort  Port
-	outVC    int
-
-	lock     lockState
-	absorbed int // payload flits handed to the engine
-
-	// lostArb marks a VA/SA loss this cycle (DISCO candidate filter).
-	lostArb bool
-	// waitCycles accumulates cycles the packet spent buffered here while
-	// unable to move (the queuing delay DISCO overlaps).
-	waitCycles uint64
-}
-
-// reset clears the VC for reuse.
-func (v *vcBuf) reset() {
-	*v = vcBuf{reserved: v.reserved} // in-flight flits (if any) keep their reservation
-}
-
-// occupancy is the number of buffer slots this VC consumes now or next
-// cycle.
-func (v *vcBuf) occupancy() int { return v.stored + v.reserved }
-
 // Router is one mesh router: a 3-stage pipeline (RC → VA/SA → ST+LT) with
 // an optional DISCO engine + arbitrator.
 type Router struct {
@@ -397,19 +337,14 @@ func (r *Router) traverse(e *vcBuf) {
 		// compression) and invalidate the engine job.
 		r.engine.Release(e.pkt.ID)
 		r.engineVC = nil
-		e.lock = lockNone
-		e.absorbed = 0
-		e.ready = e.arrived
+		e.releaseShadow()
 		r.engineReleases++
 		r.net.trace(r.id, EvEngineRelease, e.pkt)
 	}
 	pkt := e.pkt
-	e.sent++
+	e.forwardFlit()
 	if e.sent == 1 {
 		r.net.trace(r.id, EvSAGrant, pkt)
-	}
-	if e.stored > 0 {
-		e.stored--
 	}
 	r.flitsSwitched++
 	if e.outPort == Local {
@@ -424,7 +359,7 @@ func (r *Router) traverse(e *vcBuf) {
 	d := r.downstream(e.outPort)
 	ip := e.outPort.opposite()
 	dst := d.in[ip][e.outVC]
-	dst.reserved++
+	dst.reserveSlot()
 	r.net.pending = append(r.net.pending, arrival{
 		router: d, port: ip, vc: e.outVC, pkt: pkt,
 		head: e.sent == 1, tail: e.sent == pkt.FlitCount,
@@ -463,34 +398,21 @@ func (r *Router) stageEngine() {
 				// No flit win, or the result would not fit the VC: treat
 				// as incompressible.
 				e.pkt.CompressionFailed = true
-				e.ready = e.arrived
-				e.lock = lockNone
-				e.absorbed = 0
+				e.abortJob()
 				return
 			}
 			e.pkt.ApplyCompression(res)
 			e.pkt.Conversions++
-			e.arrived = e.pkt.FlitCount
-			e.ready = e.pkt.FlitCount
-			e.sent = 0
-			e.stored = e.pkt.FlitCount
-			e.lock = lockNone
-			e.absorbed = 0
+			e.restockCompressed(e.pkt.FlitCount)
 		case done.State == disco.JobDone && done.Kind == disco.JobDecompress:
 			r.net.trace(r.id, EvEngineDone, e.pkt)
 			e.pkt.ApplyDecompression(done.Block())
 			e.pkt.Conversions++
-			e.arrived = e.pkt.FlitCount
-			e.ready = e.pkt.FlitCount
-			e.sent = 0
-			// stored unchanged: the engine streams the expansion.
-			e.lock = lockNone
+			e.restockDecompressed(e.pkt.FlitCount)
 		default: // aborted (incompressible content)
 			r.net.trace(r.id, EvEngineFail, e.pkt)
 			e.pkt.CompressionFailed = true
-			e.ready = e.arrived
-			e.lock = lockNone
-			e.absorbed = 0
+			e.abortJob()
 		}
 		return
 	}
@@ -504,25 +426,15 @@ func (r *Router) stageEngine() {
 	// Commit transition: the shadow is dropped, absorbed payload slots are
 	// freed (Section 3.2 step 3 / 3.3A separate compression).
 	if job.State == disco.JobCommitted && e.lock == lockPending {
-		e.lock = lockCommitted
+		e.commitJob(job.Kind == disco.JobCompress)
 		r.net.trace(r.id, EvEngineCommit, e.pkt)
-		if job.Kind == disco.JobCompress {
-			e.stored -= e.absorbed
-			if e.stored < 1 {
-				e.stored = 1 // head flit anchors the VC
-			}
-		}
 	}
 	// Feed fragments that arrived since the last service.
 	if job.Kind == disco.JobCompress && e.lock == lockCommitted {
 		avail := e.arrived - 1 // payload flits here
 		if n := avail - e.absorbed; n > 0 {
 			r.engine.Absorb(e.pkt.payloadFlitValues(e.absorbed, n))
-			e.absorbed += n
-			e.stored -= n
-			if e.stored < 1 {
-				e.stored = 1
-			}
+			e.absorbPayload(n)
 		}
 	}
 }
@@ -599,14 +511,14 @@ func (r *Router) stageDiscoArb() {
 	pkt := sel.pkt
 	if selCand.Decompress {
 		r.engine.StartDecompress(pkt.ID, pkt.Comp, r.net.Cycle)
+		sel.beginShadowJob(0)
 	} else {
 		resident := sel.arrived - 1
 		job := r.engine.StartCompress(pkt.ID, pkt.payloadFlitValues(0, resident),
 			compress.BlockSize/compress.FlitBytes, r.net.Cycle)
 		job.SetBlock(pkt.Block)
-		sel.absorbed = resident
+		sel.beginShadowJob(resident)
 	}
-	sel.lock = lockPending
 	r.engineVC = sel
 	r.engineStarts++
 	r.net.trace(r.id, EvEngineStart, pkt)

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 )
@@ -45,24 +46,66 @@ type WriterTracer struct {
 	Filter func(kind string, pkt *Packet) bool
 	// Count tallies emitted events.
 	Count uint64
+	// Err latches the first write error; once set, later events are
+	// dropped (a truncated trace must not masquerade as a complete one).
+	Err error
 }
 
 // Event implements Tracer.
 func (t *WriterTracer) Event(cycle uint64, router int, kind string, pkt *Packet) {
+	if t.Err != nil {
+		return
+	}
 	if t.Filter != nil && !t.Filter(kind, pkt) {
 		return
 	}
 	t.Count++
 	if pkt == nil {
-		fmt.Fprintf(t.W, "%8d r%02d %-14s\n", cycle, router, kind)
+		_, t.Err = fmt.Fprintf(t.W, "%8d r%02d %-14s\n", cycle, router, kind)
 		return
 	}
 	form := "raw"
 	if pkt.Compressed {
 		form = "comp"
 	}
-	fmt.Fprintf(t.W, "%8d r%02d %-14s pkt=%d %d->%d %s %s flits=%d\n",
+	_, t.Err = fmt.Fprintf(t.W, "%8d r%02d %-14s pkt=%d %d->%d %s %s flits=%d\n",
 		cycle, router, kind, pkt.ID, pkt.Src, pkt.Dst, pkt.Class, form, pkt.FlitCount)
+}
+
+// BufferedTracer is a WriterTracer behind a bufio layer with a Close
+// that flushes — the right tracer for writing large traces to files.
+type BufferedTracer struct {
+	WriterTracer
+	bw     *bufio.Writer
+	closer io.Closer
+}
+
+// NewBufferedTracer wraps w. When w is also an io.Closer (e.g. an
+// *os.File), Close closes it after flushing.
+func NewBufferedTracer(w io.Writer) *BufferedTracer {
+	t := &BufferedTracer{bw: bufio.NewWriter(w)}
+	t.W = t.bw
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	return t
+}
+
+// Close flushes buffered events and closes the underlying writer when
+// it is a Closer. Closing an empty trace is valid and writes nothing.
+// The first error (from tracing, flushing or closing) is returned and
+// latched in Err.
+func (t *BufferedTracer) Close() error {
+	err := t.bw.Flush()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if t.Err == nil {
+		t.Err = err
+	}
+	return t.Err
 }
 
 // CountingTracer counts events by kind (cheap assertion helper).

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -71,5 +72,117 @@ func TestWriterTracerFormatsAndFilters(t *testing.T) {
 	tr.Event(5, 2, "custom", nil)
 	if !strings.Contains(sb.String(), "custom") {
 		t.Error("nil-packet event not formatted")
+	}
+}
+
+// failingWriter errors after limit bytes have been accepted.
+type failingWriter struct {
+	limit    int
+	written  int
+	closed   bool
+	closeErr error
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.limit {
+		return 0, errDiskFull
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func (f *failingWriter) Close() error {
+	f.closed = true
+	return f.closeErr
+}
+
+func TestWriterTracerLatchesFirstError(t *testing.T) {
+	fw := &failingWriter{limit: 40} // room for one event line, not two
+	tr := &WriterTracer{W: fw}
+	tr.Event(1, 0, "first", nil)
+	if tr.Err != nil {
+		t.Fatalf("first event failed unexpectedly: %v", tr.Err)
+	}
+	tr.Event(2, 0, "second", nil)
+	if !errors.Is(tr.Err, errDiskFull) {
+		t.Fatalf("Err = %v, want errDiskFull", tr.Err)
+	}
+	// Once latched, further events are dropped and the error survives.
+	count := tr.Count
+	tr.Event(3, 0, "third", nil)
+	if tr.Count != count {
+		t.Error("event counted after the tracer latched an error")
+	}
+	if !errors.Is(tr.Err, errDiskFull) {
+		t.Error("latched error was overwritten")
+	}
+}
+
+func TestBufferedTracerEmptyTraceCloses(t *testing.T) {
+	// Closing a tracer that never saw an event is valid: no output, no
+	// error, underlying closer still closed.
+	fw := &failingWriter{limit: 1 << 20}
+	tr := NewBufferedTracer(fw)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close on empty trace: %v", err)
+	}
+	if fw.written != 0 {
+		t.Errorf("empty trace wrote %d bytes", fw.written)
+	}
+	if !fw.closed {
+		t.Error("underlying closer not closed")
+	}
+}
+
+func TestBufferedTracerFlushesOnClose(t *testing.T) {
+	fw := &failingWriter{limit: 1 << 20}
+	tr := NewBufferedTracer(fw)
+	tr.Event(7, 3, "route", nil)
+	if fw.written != 0 {
+		t.Fatal("event bypassed the buffer; buffering is not happening")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if fw.written == 0 {
+		t.Error("Close did not flush the buffered event")
+	}
+}
+
+func TestBufferedTracerSurfacesFlushError(t *testing.T) {
+	fw := &failingWriter{limit: 0} // everything fails at flush time
+	tr := NewBufferedTracer(fw)
+	tr.Event(7, 3, "route", nil)
+	if err := tr.Close(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("Close = %v, want errDiskFull", err)
+	}
+	if !errors.Is(tr.Err, errDiskFull) {
+		t.Error("flush error not latched in Err")
+	}
+	if !fw.closed {
+		t.Error("writer left open after failed flush")
+	}
+}
+
+func TestBufferedTracerSurfacesCloseError(t *testing.T) {
+	fw := &failingWriter{limit: 1 << 20, closeErr: errors.New("close failed")}
+	tr := NewBufferedTracer(fw)
+	if err := tr.Close(); err == nil || err.Error() != "close failed" {
+		t.Fatalf("Close = %v, want close failed", err)
+	}
+}
+
+func TestBufferedTracerPlainWriter(t *testing.T) {
+	// A writer without Close (e.g. strings.Builder) is flushed only.
+	var sb strings.Builder
+	tr := NewBufferedTracer(&sb)
+	tr.Event(7, 3, "route", nil)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !strings.Contains(sb.String(), "route") {
+		t.Error("flushed output missing the event")
 	}
 }

@@ -126,7 +126,7 @@ func (g *TrafficGen) payload() []byte {
 			}
 		}
 	} else {
-		g.rng.Read(b)
+		_, _ = g.rng.Read(b) // documented to never fail
 	}
 	return b
 }

@@ -22,7 +22,9 @@ import (
 // WriteTrace serializes a stream of accesses.
 func WriteTrace(w io.Writer, accs []Access) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "# disco trace v1: <block-addr-hex> <r|w> <gap>")
+	if _, err := fmt.Fprintln(bw, "# disco trace v1: <block-addr-hex> <r|w> <gap>"); err != nil {
+		return err
+	}
 	for _, a := range accs {
 		op := "r"
 		if a.Write {

@@ -162,7 +162,7 @@ func (p *Profile) Content(addr uint64) []byte {
 			}
 		}
 	default:
-		rng.Read(b)
+		_, _ = rng.Read(b) // documented to never fail
 	}
 	return b
 }
