@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet fmt test race fuzz-smoke ci
+.PHONY: all build lint vet fmt test race fuzz-smoke bench-snapshot ci
 
 all: build lint test
 
@@ -28,5 +28,14 @@ race:
 # Short native-fuzzing pass over the compressor decoders.
 fuzz-smoke:
 	$(GO) test -run TestNone -fuzz=Fuzz -fuzztime=10s ./internal/compress
+
+# One pass over every benchmark (sanity, not timing-stable) plus an
+# instrumented quick run whose metrics JSON snapshots the simulator's
+# behaviour at this commit; CI uploads bench/ as a workflow artifact.
+bench-snapshot:
+	@mkdir -p bench
+	$(GO) test -run TestNone -bench=. -benchtime=1x . | tee bench/bench.txt
+	$(GO) run ./cmd/discosim -run disco -benchmark canneal \
+		-ops 2000 -warmup 1000 -metrics bench/metrics.json
 
 ci: build lint race fuzz-smoke

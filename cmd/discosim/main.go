@@ -18,6 +18,8 @@ import (
 	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/compress"
 	"github.com/disco-sim/disco/internal/experiments"
+	"github.com/disco-sim/disco/internal/metrics"
+	"github.com/disco-sim/disco/internal/noc"
 	"github.com/disco-sim/disco/internal/trace"
 )
 
@@ -36,11 +38,16 @@ func main() {
 		bench   = flag.String("benchmark", "bodytrack", "benchmark for -run")
 		alg     = flag.String("alg", "delta", "compression algorithm for -run")
 		k       = flag.Int("k", 4, "mesh radix for -run")
+
+		metricsOut   = flag.String("metrics", "", "with -run: write the metrics-registry JSON export to this file")
+		metricsEvery = flag.Uint64("metrics-every", 0, "time-series sampling interval in cycles (0 = default)")
+		traceBin     = flag.String("trace-bin", "", "with -run: write a binary event trace (analyze with discotrace)")
 	)
 	flag.Parse()
 
 	if *runMode != "" {
-		if err := singleRun(*runMode, *bench, *alg, *k, *ops, *warmup, *seed); err != nil {
+		obs := observeOpts{metricsOut: *metricsOut, metricsEvery: *metricsEvery, traceBin: *traceBin}
+		if err := singleRun(*runMode, *bench, *alg, *k, *ops, *warmup, *seed, obs); err != nil {
 			fmt.Fprintln(os.Stderr, "discosim:", err)
 			os.Exit(1)
 		}
@@ -220,8 +227,15 @@ func runExperiments(exp string, o experiments.Opts) error {
 	return nil
 }
 
+// observeOpts are the -run observability attachments.
+type observeOpts struct {
+	metricsOut   string
+	metricsEvery uint64
+	traceBin     string
+}
+
 // singleRun executes one raw simulation and prints its result line.
-func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64) error {
+func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, obs observeOpts) error {
 	prof, ok := trace.ByName(bench)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q (have %s)", bench, strings.Join(trace.Names(), ","))
@@ -262,9 +276,46 @@ func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	var reg *metrics.Registry
+	if obs.metricsOut != "" {
+		reg = metrics.NewRegistry()
+		sys.AttachMetrics(reg, obs.metricsEvery)
+	}
+	var bt *noc.BinaryTracer
+	if obs.traceBin != "" {
+		f, err := os.Create(obs.traceBin)
+		if err != nil {
+			return err
+		}
+		ncfg := sys.Network().Config()
+		bt = noc.NewBinaryTracer(f, ncfg.Nodes())
+		sys.Network().SetTracer(bt)
+	}
 	r, err := sys.Run()
+	if bt != nil {
+		if cerr := bt.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		f, err := os.Create(obs.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", obs.metricsOut)
+	}
+	if bt != nil {
+		fmt.Printf("wrote %s (%d records)\n", obs.traceBin, bt.Count)
 	}
 	fmt.Println(r.Detailed())
 	return nil

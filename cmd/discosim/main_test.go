@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/disco-sim/disco/internal/experiments"
+	"github.com/disco-sim/disco/internal/tracefmt"
 )
 
 func TestSingleRunAllModes(t *testing.T) {
@@ -11,20 +16,20 @@ func TestSingleRunAllModes(t *testing.T) {
 		t.Skip("full-system runs")
 	}
 	for _, mode := range []string{"baseline", "ideal", "cc", "cnc", "disco"} {
-		if err := singleRun(mode, "swaptions", "delta", 4, 400, 200, 1); err != nil {
+		if err := singleRun(mode, "swaptions", "delta", 4, 400, 200, 1, observeOpts{}); err != nil {
 			t.Errorf("%s: %v", mode, err)
 		}
 	}
 }
 
 func TestSingleRunRejectsBadInputs(t *testing.T) {
-	if err := singleRun("warp", "swaptions", "delta", 4, 100, 50, 1); err == nil {
+	if err := singleRun("warp", "swaptions", "delta", 4, 100, 50, 1, observeOpts{}); err == nil {
 		t.Error("unknown mode should fail")
 	}
-	if err := singleRun("disco", "nope", "delta", 4, 100, 50, 1); err == nil {
+	if err := singleRun("disco", "nope", "delta", 4, 100, 50, 1, observeOpts{}); err == nil {
 		t.Error("unknown benchmark should fail")
 	}
-	if err := singleRun("disco", "swaptions", "bogus", 4, 100, 50, 1); err == nil {
+	if err := singleRun("disco", "swaptions", "bogus", 4, 100, 50, 1, observeOpts{}); err == nil {
 		t.Error("unknown algorithm should fail")
 	}
 }
@@ -41,5 +46,56 @@ func TestRunExperimentsDispatch(t *testing.T) {
 	}
 	if err := runExperiments("fig99", o); err == nil {
 		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestSingleRunObservabilityArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system runs")
+	}
+	dir := t.TempDir()
+	obs := observeOpts{
+		metricsOut: filepath.Join(dir, "metrics.json"),
+		traceBin:   filepath.Join(dir, "trace.bin"),
+	}
+	if err := singleRun("disco", "swaptions", "delta", 4, 400, 200, 1, obs); err != nil {
+		t.Fatal(err)
+	}
+	// The metrics export is valid JSON with the expected scopes.
+	raw, err := os.ReadFile(obs.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &exp); err != nil {
+		t.Fatalf("metrics export is not JSON: %v", err)
+	}
+	if exp.Counters["noc.injected"] == 0 || exp.Counters["cmp.l2_misses"] == 0 {
+		t.Errorf("expected nonzero noc/cmp counters, got %d/%d",
+			exp.Counters["noc.injected"], exp.Counters["cmp.l2_misses"])
+	}
+	// The binary trace parses end to end.
+	f, err := os.Open(obs.traceBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd, err := tracefmt.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		if _, err := rd.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("record %d: %v", n, err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("binary trace contains no records")
 	}
 }

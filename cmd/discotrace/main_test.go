@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/disco-sim/disco/internal/tracefmt"
+)
+
+// buildTrace assembles a tiny 2x2-mesh trace with two delivered packets
+// and one engine job span.
+func buildTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf []byte
+	buf = tracefmt.AppendHeader(buf, 4)
+	rec := func(r tracefmt.Record) {
+		buf = tracefmt.AppendRecord(buf, &r)
+	}
+	p1 := tracefmt.PacketInfo{ID: 1, Src: 0, Dst: 3, Flits: 5, Hops: 2,
+		Queueing: 10, EngineCycles: 6, EngineStall: 2}
+	p2 := tracefmt.PacketInfo{ID: 2, Src: 1, Dst: 2, Flits: 5, Hops: 2,
+		Queueing: 0, EngineCycles: 0, EngineStall: 0}
+	rec(tracefmt.Record{Cycle: 0, Router: 0, Kind: tracefmt.KindInject, HasPacket: true, Pkt: p1})
+	rec(tracefmt.Record{Cycle: 1, Router: 1, Kind: tracefmt.KindInject, HasPacket: true, Pkt: p2})
+	rec(tracefmt.Record{Cycle: 2, Router: 0, Kind: tracefmt.KindSAGrant, HasPacket: true, Pkt: p1})
+	rec(tracefmt.Record{Cycle: 3, Router: 0, Kind: tracefmt.KindEngineStart, HasPacket: true, Pkt: p1})
+	rec(tracefmt.Record{Cycle: 9, Router: 0, Kind: tracefmt.KindEngineDone, HasPacket: true, Pkt: p1})
+	rec(tracefmt.Record{Cycle: 11, Router: 2, Kind: tracefmt.KindEject, HasPacket: true, Pkt: p2})
+	rec(tracefmt.Record{Cycle: 30, Router: 3, Kind: tracefmt.KindEject, HasPacket: true, Pkt: p1})
+	return buf
+}
+
+func analyzeBytes(t *testing.T, raw []byte) *analysis {
+	t.Helper()
+	r, err := tracefmt.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	a, err := analyze(r)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+func TestAnalyzeBreakdown(t *testing.T) {
+	a := analyzeBytes(t, buildTrace(t))
+	if a.records != 7 || a.nodes != 4 {
+		t.Fatalf("records=%d nodes=%d, want 7, 4", a.records, a.nodes)
+	}
+	if len(a.pkts) != 2 {
+		t.Fatalf("delivered packets = %d, want 2", len(a.pkts))
+	}
+	// Ejection order: p2 first (cycle 11), then p1 (cycle 30).
+	p2, p1 := a.pkts[0], a.pkts[1]
+	if p1.id != 1 || p2.id != 2 {
+		t.Fatalf("packet order: got ids %d,%d", p2.id, p1.id)
+	}
+	// p1: total 30, stall 10, exposed engine 2 -> queue 8, serial 20.
+	if p1.total != 30 || p1.queue != 8 || p1.engine != 2 || p1.serial != 20 {
+		t.Errorf("p1 breakdown = total %d queue %d engine %d serial %d, want 30/8/2/20",
+			p1.total, p1.queue, p1.engine, p1.serial)
+	}
+	if p1.engineBusy != 6 || p1.engineHidden != 4 {
+		t.Errorf("p1 engine busy/hidden = %d/%d, want 6/4", p1.engineBusy, p1.engineHidden)
+	}
+	// p2: pure serialization.
+	if p2.total != 10 || p2.queue != 0 || p2.engine != 0 || p2.serial != 10 {
+		t.Errorf("p2 breakdown = total %d queue %d engine %d serial %d, want 10/0/0/10",
+			p2.total, p2.queue, p2.engine, p2.serial)
+	}
+	// Aggregate overlap: 4 of 6 engine cycles hidden.
+	if got := a.overlapRatio(); got < 0.66 || got > 0.67 {
+		t.Errorf("overlapRatio = %v, want 4/6", got)
+	}
+}
+
+func TestAnalyzeEngineSpans(t *testing.T) {
+	a := analyzeBytes(t, buildTrace(t))
+	rs := a.routers[0]
+	if rs == nil {
+		t.Fatal("router 0 missing")
+	}
+	if rs.engineStarts != 1 || rs.engineEnds != 1 {
+		t.Errorf("engine starts/ends = %d/%d, want 1/1", rs.engineStarts, rs.engineEnds)
+	}
+	if rs.engineBusy != 6 { // start cycle 3 .. done cycle 9
+		t.Errorf("engineBusy = %d, want 6", rs.engineBusy)
+	}
+	if rs.saGrants != 1 {
+		t.Errorf("saGrants = %d, want 1", rs.saGrants)
+	}
+}
+
+func TestAnalyzeIgnoresUnpairedEject(t *testing.T) {
+	var buf []byte
+	buf = tracefmt.AppendHeader(buf, 4)
+	// Eject with no matching inject (tracing attached mid-run).
+	r := tracefmt.Record{Cycle: 5, Router: 0, Kind: tracefmt.KindEject,
+		HasPacket: true, Pkt: tracefmt.PacketInfo{ID: 9}}
+	buf = tracefmt.AppendRecord(buf, &r)
+	a := analyzeBytes(t, buf)
+	if len(a.pkts) != 0 {
+		t.Fatalf("unpaired eject produced %d packets, want 0", len(a.pkts))
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	a := analyzeBytes(t, buildTrace(t))
+	var out strings.Builder
+	if err := a.render(&out, 3, true); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"7 records",
+		"2 delivered packets",
+		"overlap ratio 0.67",
+		"engine starts per router",
+		"engine utilization",
+		"slowest packets",
+		"1->2", // p2's route in the slowest table
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q\n---\n%s", want, s)
+		}
+	}
+	// Determinism: rendering twice yields identical bytes.
+	var again strings.Builder
+	if err := a.render(&again, 3, true); err != nil {
+		t.Fatalf("render#2: %v", err)
+	}
+	if again.String() != s {
+		t.Error("render output not deterministic")
+	}
+}
+
+func TestRenderEmptyTrace(t *testing.T) {
+	var buf []byte
+	buf = tracefmt.AppendHeader(buf, 4)
+	a := analyzeBytes(t, buf)
+	var out strings.Builder
+	if err := a.render(&out, 5, true); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if !strings.Contains(out.String(), "empty trace") {
+		t.Errorf("want empty-trace notice, got %q", out.String())
+	}
+}

@@ -1,0 +1,54 @@
+package cmp
+
+import (
+	"strconv"
+
+	"github.com/disco-sim/disco/internal/metrics"
+	"github.com/disco-sim/disco/internal/noc"
+)
+
+// Network exposes the system's NoC for observability attachments
+// (tracers, metrics); the returned network is owned by the system.
+func (s *System) Network() *noc.Network { return s.net }
+
+// AttachMetrics registers the full-system observability surface in reg:
+// the NoC scope (see noc.Network.AttachMetrics) plus a "cmp" scope with
+// memory-hierarchy counters, latency accumulators and a per-tile
+// rollup. interval is the time-series sampling period in cycles (0 =
+// noc.DefaultSampleInterval). Call before Run; export after.
+func (s *System) AttachMetrics(reg *metrics.Registry, interval uint64) {
+	s.net.AttachMetrics(reg, interval)
+
+	cs := reg.Scope("cmp")
+	cs.CounterFunc("l2_hits", func() uint64 { return s.l2Hits })
+	cs.CounterFunc("l2_misses", func() uint64 { return s.l2Misses })
+	cs.CounterFunc("bank_accesses", func() uint64 { return s.bankAccesses })
+	cs.CounterFunc("bank_bytes", func() uint64 { return s.bankBytes })
+	cs.CounterFunc("dram_accesses", func() uint64 { return s.dramAccesses() })
+	cs.CounterFunc("endpoint_compressions", func() uint64 { return s.compOps })
+	cs.CounterFunc("endpoint_decompressions", func() uint64 { return s.decompOps })
+	cs.CounterFunc("residual_conversions", func() uint64 { return s.residualOps })
+	cs.CounterFunc("writeback_packets", func() uint64 { return s.wbPackets })
+	cs.ObserveMean("miss_latency_onchip", &s.missLatency)
+	cs.ObserveMean("miss_latency_total", &s.missTotal)
+	cs.ObserveHistogram("miss_latency_hist", s.missHist)
+
+	for i := 0; i < s.cfg.tiles(); i++ {
+		i := i
+		ts := cs.Scope("tile", strconv.Itoa(i))
+		ts.CounterFunc("l1_hits", func() uint64 { return s.l1s[i].Hits })
+		ts.CounterFunc("l1_misses", func() uint64 { return s.l1s[i].Misses })
+		ts.CounterFunc("bank_hits", func() uint64 { return s.banks[i].Hits })
+		ts.CounterFunc("bank_misses", func() uint64 { return s.banks[i].Misses })
+	}
+
+	// Time-series probes: memory-side pulse alongside the NoC's.
+	reg.AddSample("cmp.l2_misses", func() float64 { return float64(s.l2Misses) })
+	reg.AddSample("cmp.outstanding_txns", func() float64 {
+		n := 0
+		for _, m := range s.txns {
+			n += len(m)
+		}
+		return float64(n)
+	})
+}

@@ -526,6 +526,7 @@ func (r Results) Detailed() string {
 			"  L1   %d hits / %d misses (%.1f%% miss)\n"+
 			"  L2   %d hits / %d misses; DRAM %d accesses\n"+
 			"  NoC  %d packets, %d flit-hops (%.0f%% response), queueing %.1f cyc/pkt\n"+
+			"  NoC  delay breakdown queue %.1f + serialization %.1f + engine %.1f cyc/pkt; overlap %.0f%% (%d of %d engine cycles hidden)\n"+
 			"  comp endpoint %d+%d, in-network %d+%d, residual %d\n"+
 			"  energy %s",
 		r.Mode, r.Benchmark, r.Algorithm,
@@ -534,6 +535,8 @@ func (r Results) Detailed() string {
 		r.L1Hits, r.L1Misses, 100*float64(r.L1Misses)/float64(maxu(r.L1Hits+r.L1Misses, 1)),
 		r.L2Hits, r.L2Misses, r.DramAccesses,
 		r.Net.Ejected, r.Net.FlitHops, respShare*100, r.Net.QueueCycles.Mean(),
+		r.Net.QueueDelay.Mean(), r.Net.SerialDelay.Mean(), r.Net.EngineDelay.Mean(),
+		100*r.Net.OverlapRatio(), r.Net.PktEngineCycles-r.Net.PktEngineExposed, r.Net.PktEngineCycles,
 		r.EndpointComp, r.EndpointDecomp, r.Net.Compressions, r.Net.Decompressions, r.ResidualOps,
 		r.Energy)
 }

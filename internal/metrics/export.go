@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// MeanExport is the JSON shape of an observed stats.Mean.
+type MeanExport struct {
+	N      uint64  `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// HistExport is the JSON shape of an observed stats.Histogram.
+type HistExport struct {
+	N        uint64  `json:"n"`
+	Mean     float64 `json:"mean"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	Max      float64 `json:"max"`
+	Overflow uint64  `json:"overflow"`
+}
+
+// SeriesExport is the JSON shape of the time-series block.
+type SeriesExport struct {
+	IntervalCycles uint64      `json:"interval_cycles"`
+	Columns        []string    `json:"columns"`
+	Rows           [][]float64 `json:"rows"`
+}
+
+// Export is the full JSON document. Maps marshal with sorted keys, so
+// the document is byte-deterministic for identical registry state.
+type Export struct {
+	Counters   map[string]uint64     `json:"counters"`
+	Gauges     map[string]float64    `json:"gauges"`
+	Means      map[string]MeanExport `json:"means"`
+	Histograms map[string]HistExport `json:"histograms"`
+	Series     SeriesExport          `json:"series"`
+}
+
+// Snapshot evaluates every metric (observed closures included) and
+// returns the export document.
+func (r *Registry) Snapshot() Export {
+	ex := Export{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Means:      map[string]MeanExport{},
+		Histograms: map[string]HistExport{},
+		Series: SeriesExport{
+			IntervalCycles: r.interval,
+			Columns:        r.SampleColumns(),
+			Rows:           r.rows,
+		},
+	}
+	if ex.Series.Rows == nil {
+		ex.Series.Rows = [][]float64{}
+	}
+	if ex.Series.Columns == nil {
+		ex.Series.Columns = []string{}
+	}
+	r.root.walk(func(name string, e *entry) {
+		switch {
+		case e.counter != nil:
+			ex.Counters[name] = e.counter.Get()
+		case e.counterFunc != nil:
+			ex.Counters[name] = e.counterFunc()
+		case e.gauge != nil:
+			ex.Gauges[name] = e.gauge.Get()
+		case e.gaugeFunc != nil:
+			ex.Gauges[name] = e.gaugeFunc()
+		case e.mean != nil:
+			m := e.mean
+			ex.Means[name] = MeanExport{N: m.N(), Mean: m.Mean(),
+				StdDev: m.StdDev(), Min: m.Min(), Max: m.Max()}
+		case e.hist != nil:
+			h := e.hist
+			ex.Histograms[name] = HistExport{N: h.N(), Mean: h.Mean(),
+				P50: h.Percentile(50), P95: h.Percentile(95), P99: h.Percentile(99),
+				Max: h.Max(), Overflow: h.Overflow()}
+		}
+	})
+	return ex
+}
+
+// WriteJSON writes the indented JSON export document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// WriteCSV writes the scalar metrics as sorted "name,kind,value" rows
+// (means and histograms contribute their summary statistics as
+// dotted sub-names).
+func (r *Registry) WriteCSV(w io.Writer) error {
+	ex := r.Snapshot()
+	rows := make([]string, 0, len(ex.Counters)+len(ex.Gauges)+4*len(ex.Means))
+	for n, v := range ex.Counters {
+		rows = append(rows, fmt.Sprintf("%s,counter,%d", n, v))
+	}
+	for n, v := range ex.Gauges {
+		rows = append(rows, fmt.Sprintf("%s,gauge,%s", n, fmtF(v)))
+	}
+	for n, m := range ex.Means {
+		rows = append(rows,
+			fmt.Sprintf("%s.n,mean,%d", n, m.N),
+			fmt.Sprintf("%s.mean,mean,%s", n, fmtF(m.Mean)),
+			fmt.Sprintf("%s.stddev,mean,%s", n, fmtF(m.StdDev)),
+			fmt.Sprintf("%s.max,mean,%s", n, fmtF(m.Max)))
+	}
+	for n, h := range ex.Histograms {
+		rows = append(rows,
+			fmt.Sprintf("%s.n,hist,%d", n, h.N),
+			fmt.Sprintf("%s.p50,hist,%s", n, fmtF(h.P50)),
+			fmt.Sprintf("%s.p95,hist,%s", n, fmtF(h.P95)),
+			fmt.Sprintf("%s.max,hist,%s", n, fmtF(h.Max)))
+	}
+	sort.Strings(rows)
+	if _, err := io.WriteString(w, "name,kind,value\n"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes the sampled time series: a "cycle,<col>,..."
+// header then one row per sample.
+func (r *Registry) WriteSeriesCSV(w io.Writer) error {
+	header := "cycle"
+	for _, c := range r.SampleColumns() {
+		header += "," + c
+	}
+	if _, err := io.WriteString(w, header+"\n"); err != nil {
+		return err
+	}
+	for _, row := range r.rows {
+		line := ""
+		for i, v := range row {
+			if i > 0 {
+				line += ","
+			}
+			line += fmtF(v)
+		}
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtF formats a float deterministically (shortest round-trip form, the
+// same rule encoding/json uses).
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,238 @@
+// Package metrics is the simulator's observability registry: a
+// hierarchical, deterministic set of named counters, gauges and
+// distribution accumulators (reusing internal/stats), plus a periodic
+// time-series sampler. Scopes mirror the hardware hierarchy
+// (noc.router.3.port.E.link_flits), so exports read like a floorplan.
+//
+// Determinism is a hard requirement: the registry never reads the wall
+// clock, all exports iterate names in sorted order, and the sampler is
+// driven by the simulated cycle counter — same-seed runs must produce
+// byte-identical exports (the determinism regression in internal/noc
+// asserts this).
+//
+// Hot-path philosophy: the simulator keeps its native uint64 counters;
+// the registry mostly *observes* them through closures (CounterFunc,
+// GaugeFunc, ObserveMean, ObserveHistogram) that are evaluated only at
+// sampling points and at export. Owned Counter/Gauge metrics exist for
+// code that has no native counter to observe.
+package metrics
+
+import (
+	"sort"
+
+	"github.com/disco-sim/disco/internal/stats"
+)
+
+// Counter is an owned monotonically increasing uint64 metric.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.v += delta }
+
+// Get returns the current value.
+func (c *Counter) Get() uint64 { return c.v }
+
+// Gauge is an owned instantaneous float64 metric.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Get returns the current value.
+func (g *Gauge) Get() float64 { return g.v }
+
+// entry is one registered metric: exactly one of the fields is set.
+type entry struct {
+	counter     *Counter
+	counterFunc func() uint64
+	gauge       *Gauge
+	gaugeFunc   func() float64
+	mean        *stats.Mean
+	hist        *stats.Histogram
+}
+
+// Registry is the root of a metric hierarchy plus the time-series
+// sampler. Construct with NewRegistry.
+type Registry struct {
+	root *Scope
+
+	interval uint64 // informational: cycles between samples
+	samples  []probe
+	rows     [][]float64
+}
+
+// probe is one time-series column: a name and its sampling closure.
+type probe struct {
+	name string
+	fn   func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.root = &Scope{reg: r, children: map[string]*Scope{}, entries: map[string]*entry{}}
+	return r
+}
+
+// Root returns the unnamed root scope.
+func (r *Registry) Root() *Scope { return r.root }
+
+// Scope descends from the root through parts (creating scopes as
+// needed): reg.Scope("noc", "router", "3").
+func (r *Registry) Scope(parts ...string) *Scope { return r.root.Scope(parts...) }
+
+// SetInterval records the sampling interval (cycles) for the export
+// header. The registry does not schedule samples itself — the simulator
+// calls Sample on its own cycle grid.
+func (r *Registry) SetInterval(cycles uint64) { r.interval = cycles }
+
+// Interval returns the recorded sampling interval.
+func (r *Registry) Interval() uint64 { return r.interval }
+
+// AddSample registers a time-series probe. Columns appear in the export
+// in registration order; register before the first Sample call.
+func (r *Registry) AddSample(name string, fn func() float64) {
+	r.samples = append(r.samples, probe{name: name, fn: fn})
+}
+
+// Sample evaluates every probe and appends one time-series row
+// [cycle, v1, v2, ...].
+func (r *Registry) Sample(cycle uint64) {
+	row := make([]float64, 0, len(r.samples)+1)
+	row = append(row, float64(cycle))
+	for _, p := range r.samples {
+		row = append(row, p.fn())
+	}
+	r.rows = append(r.rows, row)
+}
+
+// SampleColumns returns the time-series column names (without the
+// leading cycle column).
+func (r *Registry) SampleColumns() []string {
+	out := make([]string, len(r.samples))
+	for i, p := range r.samples {
+		out[i] = p.name
+	}
+	return out
+}
+
+// SampleRows returns the recorded time-series rows.
+func (r *Registry) SampleRows() [][]float64 { return r.rows }
+
+// Scope is one level of the metric hierarchy.
+type Scope struct {
+	reg      *Registry
+	prefix   string // "" for root, else "a.b.c"
+	children map[string]*Scope
+	entries  map[string]*entry
+}
+
+// Scope descends through parts, creating scopes as needed.
+func (s *Scope) Scope(parts ...string) *Scope {
+	cur := s
+	for _, p := range parts {
+		next, ok := cur.children[p]
+		if !ok {
+			next = &Scope{reg: cur.reg, prefix: join(cur.prefix, p),
+				children: map[string]*Scope{}, entries: map[string]*entry{}}
+			cur.children[p] = next
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Name returns the scope's full dotted prefix ("" for the root).
+func (s *Scope) Name() string { return s.prefix }
+
+// join concatenates dotted name parts.
+func join(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}
+
+// register installs e under name, panicking on duplicates (a duplicate
+// registration is a wiring bug, not a runtime condition).
+func (s *Scope) register(name string, e *entry) {
+	if _, dup := s.entries[name]; dup {
+		panic("metrics: duplicate metric " + join(s.prefix, name))
+	}
+	s.entries[name] = e
+}
+
+// Counter registers and returns an owned counter.
+func (s *Scope) Counter(name string) *Counter {
+	c := &Counter{}
+	s.register(name, &entry{counter: c})
+	return c
+}
+
+// CounterFunc registers an observed counter: fn is evaluated at export.
+func (s *Scope) CounterFunc(name string, fn func() uint64) {
+	s.register(name, &entry{counterFunc: fn})
+}
+
+// Gauge registers and returns an owned gauge.
+func (s *Scope) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	s.register(name, &entry{gauge: g})
+	return g
+}
+
+// GaugeFunc registers an observed gauge: fn is evaluated at export.
+func (s *Scope) GaugeFunc(name string, fn func() float64) {
+	s.register(name, &entry{gaugeFunc: fn})
+}
+
+// ObserveMean registers an existing stats.Mean accumulator; the
+// simulator keeps feeding it, the registry exports its summary.
+func (s *Scope) ObserveMean(name string, m *stats.Mean) {
+	s.register(name, &entry{mean: m})
+}
+
+// ObserveHistogram registers an existing stats.Histogram.
+func (s *Scope) ObserveHistogram(name string, h *stats.Histogram) {
+	s.register(name, &entry{hist: h})
+}
+
+// Histogram builds, registers and returns a new histogram.
+func (s *Scope) Histogram(name string, buckets int, width float64) *stats.Histogram {
+	h := stats.NewHistogram(buckets, width)
+	s.register(name, &entry{hist: h})
+	return h
+}
+
+// Mean builds, registers and returns a new mean accumulator.
+func (s *Scope) Mean(name string) *stats.Mean {
+	m := &stats.Mean{}
+	s.register(name, &entry{mean: m})
+	return m
+}
+
+// walk visits every entry in the subtree deterministically: a scope's
+// own entries in sorted name order, then its child scopes in sorted
+// order. Exports that need global name ordering sort the collected
+// names themselves.
+func (s *Scope) walk(visit func(name string, e *entry)) {
+	names := make([]string, 0, len(s.entries))
+	for n := range s.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		visit(join(s.prefix, n), s.entries[n])
+	}
+	kids := make([]string, 0, len(s.children))
+	for n := range s.children {
+		kids = append(kids, n)
+	}
+	sort.Strings(kids)
+	for _, n := range kids {
+		s.children[n].walk(visit)
+	}
+}

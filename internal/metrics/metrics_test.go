@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/disco-sim/disco/internal/stats"
+)
+
+func TestScopeHierarchyAndNames(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("noc", "router", "3")
+	if s.Name() != "noc.router.3" {
+		t.Errorf("scope name = %q", s.Name())
+	}
+	if r.Scope("noc").Scope("router", "3") != s {
+		t.Error("Scope should return the same node for the same path")
+	}
+	c := s.Counter("flits")
+	c.Add(2)
+	c.Inc()
+	if c.Get() != 3 {
+		t.Errorf("counter = %d, want 3", c.Get())
+	}
+	ex := r.Snapshot()
+	if ex.Counters["noc.router.3.flits"] != 3 {
+		t.Errorf("export counters = %v", ex.Counters)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate metric registration should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Scope("a").Counter("x")
+	r.Scope("a").Counter("x")
+}
+
+func TestObservedMetricsEvaluatedAtExport(t *testing.T) {
+	r := NewRegistry()
+	native := uint64(0)
+	r.Scope("sim").CounterFunc("ticks", func() uint64 { return native })
+	level := 0.0
+	r.Scope("sim").GaugeFunc("level", func() float64 { return level })
+	var m stats.Mean
+	r.Scope("sim").ObserveMean("lat", &m)
+	h := stats.NewHistogram(4, 10)
+	r.Scope("sim").ObserveHistogram("dist", h)
+
+	native = 42
+	level = 0.5
+	m.Add(10)
+	m.Add(20)
+	h.Add(35)
+
+	ex := r.Snapshot()
+	if ex.Counters["sim.ticks"] != 42 {
+		t.Errorf("observed counter = %d, want 42", ex.Counters["sim.ticks"])
+	}
+	if ex.Gauges["sim.level"] != 0.5 {
+		t.Errorf("observed gauge = %g", ex.Gauges["sim.level"])
+	}
+	if got := ex.Means["sim.lat"]; got.N != 2 || got.Mean != 15 {
+		t.Errorf("observed mean = %+v", got)
+	}
+	if got := ex.Histograms["sim.dist"]; got.N != 1 || got.Max != 35 {
+		t.Errorf("observed histogram = %+v", got)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := NewRegistry()
+	r.SetInterval(100)
+	v := 0.0
+	r.AddSample("load", func() float64 { return v })
+	for cycle := uint64(100); cycle <= 300; cycle += 100 {
+		v += 1
+		r.Sample(cycle)
+	}
+	rows := r.SampleRows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[2][0] != 300 || rows[2][1] != 3 {
+		t.Errorf("last row = %v, want [300 3]", rows[2])
+	}
+	var buf bytes.Buffer
+	if err := r.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,load\n100,1\n200,2\n300,3\n"
+	if buf.String() != want {
+		t.Errorf("series CSV:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestJSONExportDeterministicAndValid(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.SetInterval(10)
+		for _, name := range []string{"z", "a", "m"} {
+			c := r.Scope("noc", name).Counter("events")
+			c.Add(7)
+		}
+		g := r.Scope("noc").Gauge("occupancy")
+		g.Set(0.25)
+		m := r.Scope("cmp").Mean("miss_latency")
+		m.Add(12.5)
+		r.AddSample("x", func() float64 { return 1 })
+		r.Sample(10)
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("identical registries should export byte-identical JSON")
+	}
+	var doc Export
+	if err := json.Unmarshal(b1.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.Counters["noc.a.events"] != 7 || doc.Series.IntervalCycles != 10 {
+		t.Errorf("round-tripped export wrong: %+v", doc)
+	}
+}
+
+func TestCSVExportSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("b").Counter("x").Inc()
+	r.Scope("a").Counter("y").Inc()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "name,kind,value" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+	if lines[1] != "a.y,counter,1" || lines[2] != "b.x,counter,1" {
+		t.Errorf("csv rows not sorted: %v", lines[1:])
+	}
+}
+
+func TestEmptyRegistryExports(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc Export
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Counters) != 0 || len(doc.Series.Rows) != 0 {
+		t.Error("empty registry should export empty sections")
+	}
+}

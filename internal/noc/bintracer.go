@@ -1,0 +1,102 @@
+package noc
+
+import (
+	"bufio"
+	"io"
+
+	"github.com/disco-sim/disco/internal/tracefmt"
+)
+
+// BinaryTracer writes events in the compact binary trace format of
+// internal/tracefmt — the right tracer for long runs, where text traces
+// grow unbounded. Eject records carry the packet's final latency
+// breakdown counters, so cmd/discotrace can reconstruct per-packet
+// queue/serialization/engine components and the overlap ratio offline.
+//
+// Like WriterTracer it latches the first write error and drops later
+// events: a truncated trace must not masquerade as a complete one.
+type BinaryTracer struct {
+	w      *bufio.Writer
+	closer io.Closer
+	buf    []byte
+
+	// Count tallies emitted records.
+	Count uint64
+	// Err latches the first write error.
+	Err error
+}
+
+// NewBinaryTracer wraps w and writes the format header for a network of
+// nodes nodes (use net.Config().Nodes(); 0 when unknown). When w is
+// also an io.Closer (e.g. an *os.File), Close closes it after flushing.
+func NewBinaryTracer(w io.Writer, nodes int) *BinaryTracer {
+	t := &BinaryTracer{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	_, t.Err = t.w.Write(tracefmt.AppendHeader(nil, nodes))
+	return t
+}
+
+// Event implements Tracer.
+func (t *BinaryTracer) Event(cycle uint64, router int, kind string, pkt *Packet) {
+	if t.Err != nil {
+		return
+	}
+	code := tracefmt.KindFromString(kind)
+	if code == tracefmt.KindInvalid {
+		return // unknown event kinds are not representable; skip
+	}
+	rec := tracefmt.Record{Cycle: cycle, Router: router, Kind: code}
+	if pkt != nil {
+		rec.HasPacket = true
+		var flags uint8
+		if pkt.Compressed {
+			flags |= tracefmt.PFCompressed
+		}
+		if pkt.Compressible {
+			flags |= tracefmt.PFCompressible
+		}
+		if pkt.CompressionFailed {
+			flags |= tracefmt.PFFailed
+		}
+		if pkt.WantCompressedAtDst {
+			flags |= tracefmt.PFWantComp
+		}
+		rec.Pkt = tracefmt.PacketInfo{
+			ID:           pkt.ID,
+			Src:          pkt.Src,
+			Dst:          pkt.Dst,
+			Class:        uint8(pkt.Class),
+			Flags:        flags,
+			Flits:        pkt.FlitCount,
+			Hops:         pkt.Hops,
+			Conversions:  pkt.Conversions,
+			Queueing:     pkt.Queueing,
+			EngineCycles: pkt.Life.EngineCycles,
+			EngineStall:  pkt.Life.EngineStall,
+		}
+	}
+	t.buf = tracefmt.AppendRecord(t.buf[:0], &rec)
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.Err = err
+		return
+	}
+	t.Count++
+}
+
+// Close flushes buffered records and closes the underlying writer when
+// it is a Closer. The first error (tracing, flushing or closing) is
+// returned and latched in Err.
+func (t *BinaryTracer) Close() error {
+	err := t.w.Flush()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if t.Err == nil {
+		t.Err = err
+	}
+	return t.Err
+}

@@ -1,9 +1,12 @@
 package noc
 
 import (
+	"bytes"
 	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/disco-sim/disco/internal/metrics"
 )
 
 // runSeededLoad drives a DISCO-equipped network under a seeded synthetic
@@ -51,6 +54,71 @@ func TestSameSeedByteIdenticalTrace(t *testing.T) {
 	}
 	if !reflect.DeepEqual(stats1, stats2) {
 		t.Errorf("stats differ between identical runs:\n  run1: %+v\n  run2: %+v", stats1, stats2)
+	}
+}
+
+// runInstrumentedLoad is runSeededLoad with the full telemetry surface
+// attached: a metrics registry (JSON + series CSV exports) and a binary
+// tracer. It returns all three serialized artifacts.
+func runInstrumentedLoad(t *testing.T, seed int64) (metricsJSON, seriesCSV, binTrace []byte) {
+	t.Helper()
+	cfg := discoConfig()
+	n := mustNet(t, cfg)
+	reg := metrics.NewRegistry()
+	n.AttachMetrics(reg, 128)
+	var bin bytes.Buffer
+	bt := NewBinaryTracer(&bin, cfg.Nodes())
+	n.SetTracer(bt)
+	tc := DefaultTraffic()
+	tc.Seed = seed
+	tc.InjectionRate = 0.05
+	g := NewTrafficGen(n, tc)
+	for cycle := 0; cycle < 2000; cycle++ {
+		g.Step()
+		n.Step()
+	}
+	if !n.RunUntilQuiescent(100000) {
+		t.Fatal("network did not drain")
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatalf("tracer close: %v", err)
+	}
+	var mj, sc bytes.Buffer
+	if err := reg.WriteJSON(&mj); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := reg.WriteSeriesCSV(&sc); err != nil {
+		t.Fatalf("WriteSeriesCSV: %v", err)
+	}
+	return mj.Bytes(), sc.Bytes(), bin.Bytes()
+}
+
+// TestSameSeedByteIdenticalTelemetry extends the determinism gate to the
+// telemetry layer: same-seed runs must export byte-identical metrics
+// JSON, time-series CSV and binary traces. Any map-ordered or
+// wall-clock-tainted path through the exporters breaks this.
+func TestSameSeedByteIdenticalTelemetry(t *testing.T) {
+	mj1, sc1, bin1 := runInstrumentedLoad(t, 42)
+	mj2, sc2, bin2 := runInstrumentedLoad(t, 42)
+	if len(mj1) == 0 || len(sc1) == 0 || len(bin1) == 0 {
+		t.Fatalf("empty artifact: metrics=%d series=%d trace=%d bytes",
+			len(mj1), len(sc1), len(bin1))
+	}
+	if !bytes.Equal(mj1, mj2) {
+		t.Error("metrics JSON differs between identical runs")
+	}
+	if !bytes.Equal(sc1, sc2) {
+		t.Error("time-series CSV differs between identical runs")
+	}
+	if !bytes.Equal(bin1, bin2) {
+		if len(bin1) != len(bin2) {
+			t.Fatalf("binary traces differ in length: %d vs %d bytes", len(bin1), len(bin2))
+		}
+		for i := range bin1 {
+			if bin1[i] != bin2[i] {
+				t.Fatalf("binary traces diverge at byte %d", i)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,147 @@
+package noc
+
+// Lifetime is a packet's lifecycle record: first-occurrence cycle
+// stamps for each pipeline milestone plus the engine-overlap
+// accounting that makes the paper's Section 3.2 claim — de/compression
+// latency hidden under NoC queuing — directly measurable.
+//
+// Stamps are stored as cycle+1 so the zero value means "never
+// happened" (cycle 0 is a valid simulation cycle); use the accessor
+// methods, which decode and report presence.
+type Lifetime struct {
+	routeStamp uint64
+	vaStamp    uint64
+	saStamp    uint64
+	engStart   uint64
+	engCommit  uint64
+	engEnd     uint64
+	// EngineCycles counts cycles this packet spent with a DISCO engine
+	// job in flight (summed over jobs if the packet is processed at
+	// more than one router).
+	EngineCycles uint64
+	// EngineStall counts the subset of stall cycles where the engine
+	// lock was the ONLY reason the packet could not move — the exposed
+	// (non-overlapped) part of the engine latency. Its complement,
+	// EngineCycles - EngineStall, is the hidden part.
+	EngineStall uint64
+}
+
+// observe records the first occurrence of each traced milestone.
+func (l *Lifetime) observe(kind string, cycle uint64) {
+	stamp := cycle + 1
+	switch kind {
+	case EvRoute:
+		if l.routeStamp == 0 {
+			l.routeStamp = stamp
+		}
+	case EvVAGrant:
+		if l.vaStamp == 0 {
+			l.vaStamp = stamp
+		}
+	case EvSAGrant:
+		if l.saStamp == 0 {
+			l.saStamp = stamp
+		}
+	case EvEngineStart:
+		if l.engStart == 0 {
+			l.engStart = stamp
+		}
+	case EvEngineCommit:
+		if l.engCommit == 0 {
+			l.engCommit = stamp
+		}
+	case EvEngineDone, EvEngineFail, EvEngineRelease:
+		if l.engEnd == 0 {
+			l.engEnd = stamp
+		}
+	}
+}
+
+// decode converts a stamp back to (cycle, happened).
+func decode(stamp uint64) (uint64, bool) {
+	if stamp == 0 {
+		return 0, false
+	}
+	return stamp - 1, true
+}
+
+// RouteCycle returns the first RC completion cycle.
+func (l *Lifetime) RouteCycle() (uint64, bool) { return decode(l.routeStamp) }
+
+// VAGrantCycle returns the first downstream-VC grant cycle.
+func (l *Lifetime) VAGrantCycle() (uint64, bool) { return decode(l.vaStamp) }
+
+// SAGrantCycle returns the cycle the first flit crossed a crossbar.
+func (l *Lifetime) SAGrantCycle() (uint64, bool) { return decode(l.saStamp) }
+
+// EngineStartCycle returns the first DISCO job start cycle.
+func (l *Lifetime) EngineStartCycle() (uint64, bool) { return decode(l.engStart) }
+
+// EngineCommitCycle returns the first job-commit cycle.
+func (l *Lifetime) EngineCommitCycle() (uint64, bool) { return decode(l.engCommit) }
+
+// EngineEndCycle returns the first job-end cycle (done, fail or
+// release).
+func (l *Lifetime) EngineEndCycle() (uint64, bool) { return decode(l.engEnd) }
+
+// LatencyBreakdown splits a delivered packet's inject→eject latency
+// into its three components (all in cycles):
+//
+//	Serialization — head pipeline traversal, link hops and flit
+//	                streaming: Total minus all recorded stall cycles;
+//	Queue         — stall cycles from contention and backpressure
+//	                (lost arbitration, exhausted credits);
+//	Engine        — stall cycles attributable solely to a DISCO engine
+//	                lock (the exposed part of the transform latency).
+//
+// EngineBusy is the total engine service time spent on the packet and
+// EngineHidden the part of it that coincided with cycles the packet
+// could not have moved anyway — the overlap the paper's scheduling is
+// designed to maximize.
+type LatencyBreakdown struct {
+	Total         uint64
+	Queue         uint64
+	Engine        uint64
+	Serialization uint64
+
+	EngineBusy   uint64
+	EngineHidden uint64
+}
+
+// OverlapRatio is EngineHidden / EngineBusy — 1.0 when the transform
+// was entirely hidden under queuing, 0 when fully exposed. Packets the
+// engine never touched report 0 (filter with EngineBusy > 0).
+func (b LatencyBreakdown) OverlapRatio() float64 {
+	if b.EngineBusy == 0 {
+		return 0
+	}
+	return float64(b.EngineHidden) / float64(b.EngineBusy)
+}
+
+// Breakdown computes the latency breakdown of an ejected packet. A
+// wormhole packet spread over several routers can accrue stall cycles
+// at more than one of them in the same cycle, so the stall total is
+// clamped to the packet latency before splitting.
+func (p *Packet) Breakdown() LatencyBreakdown {
+	total := p.EjectCycle - p.InjectCycle
+	stall := p.Queueing
+	if stall > total {
+		stall = total
+	}
+	engine := p.Life.EngineStall
+	if engine > stall {
+		engine = stall
+	}
+	hidden := uint64(0)
+	if p.Life.EngineCycles > p.Life.EngineStall {
+		hidden = p.Life.EngineCycles - p.Life.EngineStall
+	}
+	return LatencyBreakdown{
+		Total:         total,
+		Queue:         stall - engine,
+		Engine:        engine,
+		Serialization: total - stall,
+		EngineBusy:    p.Life.EngineCycles,
+		EngineHidden:  hidden,
+	}
+}

@@ -1,0 +1,124 @@
+package noc
+
+import (
+	"strconv"
+
+	"github.com/disco-sim/disco/internal/metrics"
+)
+
+// DefaultSampleInterval is the metrics time-series sampling period
+// (cycles) used when AttachMetrics is called with interval 0.
+const DefaultSampleInterval = 256
+
+// AttachMetrics registers the network's observability surface in reg
+// under the "noc" scope — aggregate counters and latency accumulators,
+// per-router/per-port/per-engine counters — and arms periodic
+// time-series sampling every interval cycles (0 = DefaultSampleInterval).
+//
+// The registry observes the simulator's native counters through
+// closures, so attaching metrics adds no per-cycle cost beyond the
+// sampling tick; exports evaluate live state, so export after the run
+// (or at any quiescent point).
+func (n *Network) AttachMetrics(reg *metrics.Registry, interval uint64) {
+	if interval == 0 {
+		interval = DefaultSampleInterval
+	}
+	n.mreg = reg
+	n.minterval = interval
+	reg.SetInterval(interval)
+
+	s := reg.Scope("noc")
+	s.CounterFunc("injected", func() uint64 { return n.stats.Injected })
+	s.CounterFunc("ejected", func() uint64 { return n.stats.Ejected })
+	s.CounterFunc("flit_hops", func() uint64 { return n.stats.FlitHops })
+	s.CounterFunc("ejected_wrong_form", func() uint64 { return n.stats.EjectedWrongForm })
+	s.CounterFunc("engine_cycles_on_packets", func() uint64 { return n.stats.PktEngineCycles })
+	s.CounterFunc("engine_cycles_exposed", func() uint64 { return n.stats.PktEngineExposed })
+	s.GaugeFunc("overlap_ratio", func() float64 { return n.stats.OverlapRatio() })
+	// Engine aggregates fold over routers at snapshot time (see Stats).
+	s.CounterFunc("compressions", func() uint64 { return n.Stats().Compressions })
+	s.CounterFunc("decompressions", func() uint64 { return n.Stats().Decompressions })
+	s.CounterFunc("engine_releases", func() uint64 { return n.Stats().EngineReleases })
+	s.CounterFunc("engine_failures", func() uint64 { return n.Stats().EngineFailures })
+	s.ObserveMean("packet_latency", &n.stats.PacketLatency)
+	s.ObserveMean("data_latency", &n.stats.DataLatency)
+	s.ObserveMean("queue_cycles", &n.stats.QueueCycles)
+	s.ObserveMean("delay.queue", &n.stats.QueueDelay)
+	s.ObserveMean("delay.engine", &n.stats.EngineDelay)
+	s.ObserveMean("delay.serialization", &n.stats.SerialDelay)
+	for class := ClassRequest; class <= ClassCoherence; class++ {
+		c := class
+		s.Scope("class", c.String()).CounterFunc("flit_hops",
+			func() uint64 { return n.stats.FlitHopsByClass[c] })
+	}
+
+	for _, r := range n.Routers {
+		r := r
+		rs := s.Scope("router", strconv.Itoa(r.id))
+		rs.CounterFunc("flits_switched", func() uint64 { return r.flitsSwitched })
+		rs.CounterFunc("flits_ejected", func() uint64 { return r.flitsEjected })
+		rs.GaugeFunc("buffered_flits", func() float64 { return float64(r.bufferedFlits()) })
+		for p := Port(0); p < Local; p++ {
+			p := p
+			if n.cfg.neighbor(r.id, p) < 0 {
+				continue
+			}
+			rs.Scope("port", p.String()).CounterFunc("link_flits",
+				func() uint64 { return r.linkFlits[p] })
+		}
+		if r.engine != nil {
+			es := rs.Scope("engine")
+			es.CounterFunc("starts", func() uint64 { return r.engineStarts })
+			es.CounterFunc("releases", func() uint64 { return r.engineReleases })
+			es.CounterFunc("compressions", func() uint64 { return r.engine.Compressions })
+			es.CounterFunc("decompressions", func() uint64 { return r.engine.Decompressions })
+			es.CounterFunc("failures", func() uint64 { return r.engine.Failures })
+			es.CounterFunc("busy_cycles", func() uint64 { return r.engine.BusyCycles })
+		}
+	}
+
+	// Time-series probes: the network-wide pulse over time.
+	reg.AddSample("noc.injected", func() float64 { return float64(n.stats.Injected) })
+	reg.AddSample("noc.ejected", func() float64 { return float64(n.stats.Ejected) })
+	reg.AddSample("noc.flit_hops", func() float64 { return float64(n.stats.FlitHops) })
+	reg.AddSample("noc.link_util_mean", func() float64 { _, mean := n.LinkUtilization(); return mean })
+	reg.AddSample("noc.buffered_flits", func() float64 { return float64(n.bufferedFlits()) })
+	reg.AddSample("noc.engines_busy", func() float64 { return float64(n.enginesBusy()) })
+	reg.AddSample("noc.overlap_ratio", func() float64 { return n.stats.OverlapRatio() })
+}
+
+// sampleMetrics feeds the time-series sampler on the configured cycle
+// grid; called from Step after the cycle counter advances.
+func (n *Network) sampleMetrics() {
+	if n.mreg == nil || n.Cycle%n.minterval != 0 {
+		return
+	}
+	n.mreg.Sample(n.Cycle)
+}
+
+// bufferedFlits sums occupied buffer slots over the router's input VCs.
+func (r *Router) bufferedFlits() int {
+	occ := 0
+	r.eachVC(func(_ Port, _ int, e *vcBuf) { occ += e.stored })
+	return occ
+}
+
+// bufferedFlits sums occupied buffer slots over the whole fabric.
+func (n *Network) bufferedFlits() int {
+	occ := 0
+	for _, r := range n.Routers {
+		occ += r.bufferedFlits()
+	}
+	return occ
+}
+
+// enginesBusy counts routers whose DISCO engine has a job in flight.
+func (n *Network) enginesBusy() int {
+	busy := 0
+	for _, r := range n.Routers {
+		if r.engine != nil && r.engine.Busy() {
+			busy++
+		}
+	}
+	return busy
+}

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"github.com/disco-sim/disco/internal/metrics"
 	"github.com/disco-sim/disco/internal/stats"
 )
 
@@ -47,6 +48,17 @@ type Stats struct {
 	DataLatency stats.Mean
 	// QueueCycles tracks per-packet accumulated stall cycles.
 	QueueCycles stats.Mean
+	// QueueDelay/EngineDelay/SerialDelay are the per-packet latency
+	// breakdown components of ejected packets (see LatencyBreakdown).
+	QueueDelay  stats.Mean
+	EngineDelay stats.Mean
+	SerialDelay stats.Mean
+	// PktEngineCycles sums engine service time over ejected packets;
+	// PktEngineExposed is the subset that surfaced as stall cycles. The
+	// difference is the engine latency hidden under queuing — see
+	// Stats.OverlapRatio.
+	PktEngineCycles  uint64
+	PktEngineExposed uint64
 	// Engine statistics summed over routers.
 	Compressions   uint64
 	Decompressions uint64
@@ -56,6 +68,17 @@ type Stats struct {
 	// EjectedWrongForm counts data packets that reached their destination
 	// in the wrong form and need a residual conversion at the NI.
 	EjectedWrongForm uint64
+}
+
+// OverlapRatio reports the fraction of DISCO engine service time (over
+// ejected packets) that was hidden under stall cycles the packet would
+// have paid anyway — the paper's Section 3.2 overlap claim as a single
+// number. 0 when no packet was engine-processed.
+func (s *Stats) OverlapRatio() float64 {
+	if s.PktEngineCycles == 0 {
+		return 0
+	}
+	return float64(s.PktEngineCycles-s.PktEngineExposed) / float64(s.PktEngineCycles)
 }
 
 // Network is the mesh simulator. Create with New, drive with Step.
@@ -75,6 +98,10 @@ type Network struct {
 	OnEject func(node int, pkt *Packet)
 
 	tracer Tracer
+
+	// Metrics attachment (see AttachMetrics).
+	mreg      *metrics.Registry
+	minterval uint64
 }
 
 // New builds a network from cfg.
@@ -134,6 +161,12 @@ func (n *Network) eject(node int, pkt *Packet) {
 	lat := float64(pkt.EjectCycle - pkt.InjectCycle)
 	n.stats.PacketLatency.Add(lat)
 	n.stats.QueueCycles.Add(float64(pkt.Queueing))
+	bd := pkt.Breakdown()
+	n.stats.QueueDelay.Add(float64(bd.Queue))
+	n.stats.EngineDelay.Add(float64(bd.Engine))
+	n.stats.SerialDelay.Add(float64(bd.Serialization))
+	n.stats.PktEngineCycles += bd.EngineBusy
+	n.stats.PktEngineExposed += bd.Engine
 	if pkt.Class == ClassResponse {
 		n.stats.DataLatency.Add(lat)
 	}
@@ -205,6 +238,7 @@ func (n *Network) Step() {
 		n.stepInjection(node)
 	}
 	n.Cycle++
+	n.sampleMetrics()
 }
 
 // stepInjection assigns queued packets to free local input VCs and

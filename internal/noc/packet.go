@@ -80,6 +80,9 @@ type Packet struct {
 	Hops        int
 	Conversions int    // in-network de/compressions applied to this packet
 	Queueing    uint64 // cycles spent buffered while unable to move
+	// Life records lifecycle stamps and engine-overlap accounting; see
+	// Lifetime and (*Packet).Breakdown.
+	Life Lifetime
 
 	// Meta lets the protocol layer attach a transaction reference.
 	Meta any

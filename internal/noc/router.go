@@ -227,12 +227,6 @@ func (r *Router) stageVA() {
 
 // schedulable reports whether VC e may request the switch this cycle.
 func (r *Router) schedulable(e *vcBuf) bool {
-	if e.state != vcActive || e.sent >= e.ready {
-		return false
-	}
-	if r.net.cfg.FlowControl == StoreAndForward && e.arrived < e.pkt.FlitCount {
-		return false // the whole packet must be stored before forwarding
-	}
 	switch e.lock {
 	case lockCommitted:
 		return false
@@ -241,6 +235,21 @@ func (r *Router) schedulable(e *vcBuf) bool {
 		if cfg == nil || !cfg.NonBlocking {
 			return false
 		}
+	}
+	return r.schedulableIgnoringLock(e)
+}
+
+// schedulableIgnoringLock is schedulable without the engine-lock check:
+// it reports whether e could request the switch if the DISCO engine did
+// not hold its packet. A locked VC that passes this check is stalled
+// SOLELY by the engine — the exposed (non-overlapped) part of the
+// transform latency tracked in Lifetime.EngineStall.
+func (r *Router) schedulableIgnoringLock(e *vcBuf) bool {
+	if e.state != vcActive || e.sent >= e.ready {
+		return false
+	}
+	if r.net.cfg.FlowControl == StoreAndForward && e.arrived < e.pkt.FlitCount {
+		return false // the whole packet must be stored before forwarding
 	}
 	if e.outPort != Local {
 		d := r.downstream(e.outPort)
@@ -283,6 +292,11 @@ func (r *Router) stageSA() {
 				// Buffered but unable to move: queueing time DISCO can use.
 				e.waitCycles++
 				e.pkt.Queueing++
+				if e.lock != lockNone && r.schedulableIgnoringLock(e) {
+					// The engine lock is the only blocker: this stall
+					// cycle is exposed engine latency, not overlap.
+					e.pkt.Life.EngineStall++
+				}
 				if e.state == vcActive && e.sent < e.ready && e.lock == lockNone {
 					e.lostArb = true // blocked on credits: a contention loser too
 				}
@@ -383,6 +397,11 @@ func (r *Router) stageEngine() {
 		return
 	}
 	e := r.engineVC
+	if e != nil && e.pkt != nil && r.engine.Busy() {
+		// Engine service time attributed to the packet (overlap
+		// accounting; the exposed subset is counted in stageSA).
+		e.pkt.Life.EngineCycles++
+	}
 	done := r.engine.Tick(r.net.Cycle)
 	if done != nil {
 		r.engineVC = nil

@@ -1,0 +1,101 @@
+package noc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// quickSweep is a reduced sweep that still exercises warm + drain.
+func quickSweep() SweepConfig {
+	cfg := DefaultSweep()
+	cfg.Rates = []float64{0.01, 0.04}
+	cfg.WarmCycles = 600
+	cfg.DrainBudget = 200000
+	return cfg
+}
+
+func TestSweepMeasuresEachRate(t *testing.T) {
+	cfg := quickSweep()
+	pts, err := Sweep(cfg)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(pts) != len(cfg.Rates) {
+		t.Fatalf("got %d points, want %d", len(pts), len(cfg.Rates))
+	}
+	for i, p := range pts {
+		if p.InjectionRate != cfg.Rates[i] {
+			t.Errorf("point %d rate %v, want %v", i, p.InjectionRate, cfg.Rates[i])
+		}
+		if p.Saturated {
+			t.Errorf("rate %v saturated at light load", p.InjectionRate)
+		}
+		if p.AvgLatency <= 0 {
+			t.Errorf("rate %v: non-positive latency %v", p.InjectionRate, p.AvgLatency)
+		}
+		// Accepted load can never exceed what was offered (plus nothing is
+		// created in the network), and under a drained run it must be > 0.
+		if p.Throughput <= 0 || p.Throughput > p.InjectionRate*1.05 {
+			t.Errorf("rate %v: throughput %v out of (0, rate]", p.InjectionRate, p.Throughput)
+		}
+	}
+	// More load => more contention: latency must not go down.
+	if pts[1].AvgLatency < pts[0].AvgLatency {
+		t.Errorf("latency fell with load: %v -> %v", pts[0].AvgLatency, pts[1].AvgLatency)
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	cfg := quickSweep()
+	a, err := Sweep(cfg)
+	if err != nil {
+		t.Fatalf("Sweep#1: %v", err)
+	}
+	b, err := Sweep(cfg)
+	if err != nil {
+		t.Fatalf("Sweep#2: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same config, different curves:\n%v\n%v", a, b)
+	}
+}
+
+func TestSweepEngineActivityWithDisco(t *testing.T) {
+	cfg := quickSweep()
+	cfg.Net = discoConfig()
+	cfg.Traffic.DataFraction = 1.0
+	cfg.Rates = []float64{0.06}
+	pts, err := Sweep(cfg)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if pts[0].Compressions == 0 && pts[0].Decompressions == 0 {
+		t.Error("DISCO sweep point shows no engine activity")
+	}
+}
+
+func TestSweepRejectsBadConfig(t *testing.T) {
+	cfg := quickSweep()
+	cfg.Net.K = 0
+	if _, err := Sweep(cfg); err == nil {
+		t.Fatal("Sweep accepted an invalid network config")
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	out := FormatSweep([]SweepPoint{
+		{InjectionRate: 0.01, AvgLatency: 20, Throughput: 0.01},
+		{InjectionRate: 0.5, Saturated: true, Throughput: 0.11},
+	})
+	if !strings.Contains(out, "SATURATED") {
+		t.Errorf("saturated point not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("latency bar missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + two points
+		t.Errorf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+}

@@ -32,8 +32,12 @@ const (
 // SetTracer attaches t (nil detaches).
 func (n *Network) SetTracer(t Tracer) { n.tracer = t }
 
-// trace emits an event if a tracer is attached.
+// trace records the event in the packet's lifetime record and emits it
+// if a tracer is attached.
 func (n *Network) trace(router int, kind string, pkt *Packet) {
+	if pkt != nil {
+		pkt.Life.observe(kind, n.Cycle)
+	}
 	if n.tracer != nil {
 		n.tracer.Event(n.Cycle, router, kind, pkt)
 	}

@@ -75,6 +75,32 @@ func TestWriterTracerFormatsAndFilters(t *testing.T) {
 	}
 }
 
+func TestWriterTracerFilteredEventsNotCounted(t *testing.T) {
+	// Count must tally only emitted events: a filtered event contributes
+	// neither output bytes nor a Count increment, so Count stays an exact
+	// record count for the file that was actually written.
+	var sb strings.Builder
+	tr := &WriterTracer{W: &sb, Filter: func(kind string, _ *Packet) bool {
+		return kind == EvEject
+	}}
+	tr.Event(1, 0, EvInject, nil)
+	tr.Event(2, 0, EvRoute, nil)
+	if tr.Count != 0 {
+		t.Fatalf("Count = %d after filtered events, want 0", tr.Count)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("filtered events produced output: %q", sb.String())
+	}
+	tr.Event(3, 0, EvEject, nil)
+	tr.Event(4, 0, EvInject, nil) // filtered again
+	if tr.Count != 1 {
+		t.Errorf("Count = %d, want 1 (only the eject passed the filter)", tr.Count)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != int(tr.Count) {
+		t.Errorf("Count %d != %d written lines", tr.Count, lines)
+	}
+}
+
 // failingWriter errors after limit bytes have been accepted.
 type failingWriter struct {
 	limit    int

@@ -39,11 +39,16 @@ func (m *Mean) Add(x float64) {
 	m.m2 += d * (x - m.mean)
 }
 
-// AddN folds the same sample in count times.
+// AddN folds the same sample in count times. It is a closed-form O(1)
+// update (count copies of x form a zero-variance distribution that is
+// merged with the Chan et al. formula), so it is safe on hot paths with
+// large counts (e.g. per-flit accounting).
 func (m *Mean) AddN(x float64, count uint64) {
-	for i := uint64(0); i < count; i++ {
-		m.Add(x)
+	if count == 0 {
+		return
 	}
+	o := Mean{n: count, mean: x, min: x, max: x}
+	m.Merge(&o)
 }
 
 // N returns the number of samples seen.
@@ -120,6 +125,7 @@ type Histogram struct {
 	overflow uint64
 	total    uint64
 	sum      float64
+	max      float64
 }
 
 // NewHistogram builds a histogram with the given number of buckets, each
@@ -135,6 +141,9 @@ func NewHistogram(buckets int, width float64) *Histogram {
 func (h *Histogram) Add(x float64) {
 	h.total++
 	h.sum += x
+	if h.total == 1 || x > h.max {
+		h.max = x
+	}
 	if x < 0 {
 		h.counts[0]++
 		return
@@ -164,8 +173,20 @@ func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
 // Overflow returns the count of samples above the last bucket.
 func (h *Histogram) Overflow() uint64 { return h.overflow }
 
-// Percentile returns an upper bound for the p-th percentile (0<p<=100)
-// using bucket upper edges; overflow samples report +Inf.
+// Max returns the largest sample recorded, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns an upper bound for the p-th percentile (0<p<=100).
+// Bucketed samples report the upper edge of the bucket the percentile
+// lands in — i.e. (i+1)*width for bucket i, so the true value is
+// overestimated by at most one bucket width. When the percentile lands
+// in the overflow bucket the bound is the maximum observed sample (the
+// tightest upper bound the histogram still knows), never +Inf.
 func (h *Histogram) Percentile(p float64) float64 {
 	if h.total == 0 {
 		return 0
@@ -181,7 +202,7 @@ func (h *Histogram) Percentile(p float64) float64 {
 			return float64(i+1) * h.width
 		}
 	}
-	return math.Inf(1)
+	return h.max
 }
 
 // CounterSet is a set of named uint64 counters with deterministic

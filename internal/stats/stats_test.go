@@ -48,12 +48,41 @@ func TestMeanSingleSample(t *testing.T) {
 
 func TestMeanAddN(t *testing.T) {
 	var a, b Mean
+	a.Add(1)
 	a.AddN(4, 3)
+	b.Add(1)
 	for i := 0; i < 3; i++ {
 		b.Add(4)
 	}
 	if a.N() != b.N() || !almostEq(a.Mean(), b.Mean(), 1e-12) {
 		t.Error("AddN should match repeated Add")
+	}
+	if !almostEq(a.Variance(), b.Variance(), 1e-12) {
+		t.Errorf("AddN variance %g, repeated-Add variance %g", a.Variance(), b.Variance())
+	}
+	if a.Min() != 1 || a.Max() != 4 {
+		t.Errorf("AddN min/max = %g/%g, want 1/4", a.Min(), a.Max())
+	}
+	a.AddN(9, 0)
+	if a.N() != b.N() {
+		t.Error("AddN with count 0 should be a no-op")
+	}
+}
+
+// AddN must be a closed-form update, not a loop: folding in a
+// flit-count-scale repeat must be instant and exact.
+func TestMeanAddNLargeCountClosedForm(t *testing.T) {
+	var m Mean
+	m.Add(2)
+	m.AddN(6, 1<<40)
+	if m.N() != 1<<40+1 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if !almostEq(m.Mean(), 6, 1e-6) {
+		t.Errorf("Mean = %g, want ~6", m.Mean())
+	}
+	if m.Min() != 2 || m.Max() != 6 {
+		t.Errorf("Min/Max = %g/%g, want 2/6", m.Min(), m.Max())
 	}
 }
 
@@ -170,8 +199,29 @@ func TestHistogramPercentile(t *testing.T) {
 func TestHistogramPercentileOverflow(t *testing.T) {
 	h := NewHistogram(2, 1)
 	h.Add(10)
-	if !math.IsInf(h.Percentile(99), 1) {
-		t.Error("percentile over overflow bucket should be +Inf")
+	h.Add(25)
+	// A percentile landing in the overflow bucket reports the maximum
+	// observed sample — a finite, meaningful bound — not +Inf.
+	if p := h.Percentile(99); p != 25 {
+		t.Errorf("overflow percentile = %g, want max sample 25", p)
+	}
+	if h.Max() != 25 {
+		t.Errorf("Max = %g, want 25", h.Max())
+	}
+}
+
+func TestHistogramMax(t *testing.T) {
+	h := NewHistogram(4, 1)
+	if h.Max() != 0 {
+		t.Error("empty histogram Max should be 0")
+	}
+	h.Add(-7)
+	if h.Max() != -7 {
+		t.Errorf("Max after one negative sample = %g, want -7", h.Max())
+	}
+	h.Add(3)
+	if h.Max() != 3 {
+		t.Errorf("Max = %g, want 3", h.Max())
 	}
 }
 

@@ -1,0 +1,114 @@
+package tracefmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Cycle: 0, Router: -1, Kind: KindInject, HasPacket: true,
+			Pkt: PacketInfo{ID: 1, Src: 0, Dst: 15, Class: 1,
+				Flags: PFCompressible | PFWantComp, Flits: 9}},
+		{Cycle: 7, Router: 3, Kind: KindRoute, HasPacket: true,
+			Pkt: PacketInfo{ID: 1, Src: 0, Dst: 15, Class: 1, Flits: 9}},
+		{Cycle: 12, Router: 3, Kind: KindEngineStart, HasPacket: true,
+			Pkt: PacketInfo{ID: 1, Src: 0, Dst: 15, Class: 1, Flits: 9}},
+		{Cycle: 40, Router: 15, Kind: KindEject, HasPacket: true,
+			Pkt: PacketInfo{ID: 1, Src: 0, Dst: 15, Class: 1,
+				Flags: PFCompressed | PFCompressible, Flits: 4,
+				Hops: 6, Conversions: 1, Queueing: 11, EngineCycles: 9, EngineStall: 2}},
+		{Cycle: 41, Router: 2, Kind: KindVAGrant}, // packetless record
+	}
+	buf := AppendHeader(nil, 16)
+	for i := range recs {
+		buf = AppendRecord(buf, &recs[i])
+	}
+	r, err := NewReader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes() != 16 || r.Version() != Version {
+		t.Errorf("header nodes=%d version=%d", r.Nodes(), r.Version())
+	}
+	for i := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != recs[i] {
+			t.Errorf("record %d round-trip:\n got %+v\nwant %+v", i, got, recs[i])
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for k := KindInject; k < numKinds; k++ {
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if KindFromString("no-such-event") != KindInvalid {
+		t.Error("unknown kind string should map to KindInvalid")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("bad magic should be rejected")
+	}
+}
+
+func TestUnsupportedVersionRejected(t *testing.T) {
+	var buf []byte
+	buf = append(buf, Magic...)
+	buf = append(buf, 0x7f, 0) // version 127, nodes 0
+	if _, err := NewReader(bytes.NewReader(buf)); err == nil {
+		t.Error("future version should be rejected")
+	}
+}
+
+func TestTruncatedRecordReported(t *testing.T) {
+	rec := Record{Cycle: 5, Router: 1, Kind: KindEject, HasPacket: true,
+		Pkt: PacketInfo{ID: 9, Flits: 4}}
+	buf := AppendHeader(nil, 4)
+	buf = AppendRecord(buf, &rec)
+	r, err := NewReader(bytes.NewReader(buf[:len(buf)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated record should error")
+	}
+}
+
+// A reader must tolerate records with extra trailing bytes (fields
+// appended by a future writer at the same version).
+func TestExtraTailBytesSkipped(t *testing.T) {
+	rec := Record{Cycle: 5, Router: 2, Kind: KindRoute}
+	var payload []byte
+	payload = append(payload, byte(rec.Kind))
+	payload = append(payload, 5)    // cycle uvarint
+	payload = append(payload, 4)    // router zigzag varint (2)
+	payload = append(payload, 0)    // flags: no packet
+	payload = append(payload, 0xaa) // unknown future field
+	buf := AppendHeader(nil, 4)
+	buf = append(buf, byte(len(payload)))
+	buf = append(buf, payload...)
+	r, err := NewReader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Errorf("got %+v, want %+v", got, rec)
+	}
+}
