@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet fmt test race fuzz-smoke bench-snapshot ci
+.PHONY: all build lint vet fmt test race fuzz-smoke bench-snapshot bench-compare ci
 
 all: build lint test
 
@@ -29,13 +29,32 @@ race:
 fuzz-smoke:
 	$(GO) test -run TestNone -fuzz=Fuzz -fuzztime=10s ./internal/compress
 
-# One pass over every benchmark (sanity, not timing-stable) plus an
-# instrumented quick run whose metrics JSON snapshots the simulator's
-# behaviour at this commit; CI uploads bench/ as a workflow artifact.
+# One pass over every benchmark (sanity, not timing-stable) into
+# bench/full.txt, then a timing-stable best-of-5 run of the hot-path
+# micro-benchmarks into bench/bench.txt — the committed baseline that
+# bench-compare diffs against (benchcmp keeps the min ns/op of the five
+# repeats). Also an instrumented quick run whose metrics JSON snapshots
+# the simulator's behaviour at this commit; CI uploads bench/ as a
+# workflow artifact.
 bench-snapshot:
 	@mkdir -p bench
-	$(GO) test -run TestNone -bench=. -benchtime=1x . | tee bench/bench.txt
+	$(GO) test -run TestNone -bench=. -benchtime=1x . | tee bench/full.txt
+	$(GO) test -run TestNone \
+		-bench '^(BenchmarkCompress|BenchmarkDecompress|BenchmarkNoCStep|BenchmarkTraceGeneration|BenchmarkBlockContent)' \
+		-benchtime=50000x -count=5 -benchmem . | tee bench/bench.txt
 	$(GO) run ./cmd/discosim -run disco -benchmark canneal \
 		-ops 2000 -warmup 1000 -metrics bench/metrics.json
+
+# Re-run the tier-2 micro-benchmarks (best of 5) and diff them against
+# the committed baseline (bench/bench.txt) with cmd/benchcmp. Fails when
+# a gated hot path (Compress*, Decompress*, NoCStep*) regresses its
+# ns/op by more than 10%.
+bench-compare:
+	@mkdir -p bench
+	$(GO) test -run TestNone \
+		-bench '^(BenchmarkCompress|BenchmarkDecompress|BenchmarkNoCStep|BenchmarkTraceGeneration|BenchmarkBlockContent)' \
+		-benchtime=50000x -count=5 -benchmem . | tee bench/new.txt
+	$(GO) run ./cmd/benchcmp -baseline bench/bench.txt -new bench/new.txt \
+		-gate '^BenchmarkCompress|^BenchmarkDecompress|^BenchmarkNoCStep' -max-regress 10
 
 ci: build lint race fuzz-smoke

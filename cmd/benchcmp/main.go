@@ -1,0 +1,170 @@
+// Command benchcmp compares two `go test -bench` output files and prints
+// a benchstat-style delta table. With -gate, benchmarks matching the
+// regexp fail the run (exit 1) when their ns/op regresses by more than
+// -max-regress percent — the guard rail `make bench-compare` puts around
+// the simulator's hot paths.
+//
+// Usage:
+//
+//	benchcmp -baseline bench/bench.txt -new bench/new.txt \
+//	    -gate 'Compress|NoCStep' -max-regress 10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// benchResult is one benchmark line's measurements.
+type benchResult struct {
+	NsPerOp     float64
+	BytesPerOp  float64 // -1 when absent
+	AllocsPerOp float64 // -1 when absent
+}
+
+// benchLine matches `BenchmarkX-8  100  123.4 ns/op  ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var (
+	bytesField  = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// Repeated lines for one name (from -count>1) keep the lowest ns/op: the
+// minimum is the noise-floor statistic, so best-of-N runs compare stably
+// on machines with jittery timers.
+func parseBench(r io.Reader) (map[string]benchResult, error) {
+	out := make(map[string]benchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; ok && prev.NsPerOp <= ns {
+			continue
+		}
+		res := benchResult{NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+		if bm := bytesField.FindStringSubmatch(m[3]); bm != nil {
+			res.BytesPerOp, _ = strconv.ParseFloat(bm[1], 64)
+		}
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			res.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+// deltaPct is the relative change from old to new in percent.
+func deltaPct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// compare renders the delta table and returns the gated benchmarks whose
+// ns/op regressed beyond maxRegress percent.
+func compare(old, new map[string]benchResult, gate *regexp.Regexp, maxRegress float64) (string, []string) {
+	names := make([]string, 0, len(old))
+	for n := range old {
+		if _, ok := new[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs old\tallocs new")
+	var failed []string
+	for _, n := range names {
+		o, nw := old[n], new[n]
+		d := deltaPct(o.NsPerOp, nw.NsPerOp)
+		allocOld, allocNew := "-", "-"
+		if o.AllocsPerOp >= 0 {
+			allocOld = strconv.FormatFloat(o.AllocsPerOp, 'f', -1, 64)
+		}
+		if nw.AllocsPerOp >= 0 {
+			allocNew = strconv.FormatFloat(nw.AllocsPerOp, 'f', -1, 64)
+		}
+		mark := ""
+		if gate != nil && gate.MatchString(n) && d > maxRegress {
+			mark = "  << REGRESSION"
+			failed = append(failed, n)
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%+.1f%%%s\t%s\t%s\n",
+			strings.TrimPrefix(n, "Benchmark"), o.NsPerOp, nw.NsPerOp, d, mark, allocOld, allocNew)
+	}
+	w.Flush()
+	for n := range new {
+		if _, ok := old[n]; !ok {
+			fmt.Fprintf(&b, "(no baseline for %s)\n", n)
+		}
+	}
+	return b.String(), failed
+}
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "bench/bench.txt", "baseline `go test -bench` output")
+		newFile    = flag.String("new", "", "new `go test -bench` output (required)")
+		gateExpr   = flag.String("gate", "", "regexp of benchmarks that fail the run on regression")
+		maxRegress = flag.Float64("max-regress", 10, "allowed ns/op regression for gated benchmarks, percent")
+	)
+	flag.Parse()
+	if *newFile == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := parseFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cur, err := parseFile(*newFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var gate *regexp.Regexp
+	if *gateExpr != "" {
+		gate, err = regexp.Compile(*gateExpr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp: bad -gate:", err)
+			os.Exit(2)
+		}
+	}
+	report, failed := compare(old, cur, gate, *maxRegress)
+	fmt.Print(report)
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d gated benchmark(s) regressed more than %.0f%%: %s\n",
+			len(failed), *maxRegress, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}
+
+// parseFile parses one bench output file.
+func parseFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchcmp: %w", err)
+	}
+	defer f.Close()
+	return parseBench(f)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const oldBench = `
+goos: linux
+BenchmarkCompressDelta     	    2000	      1625 ns/op	  39.38 MB/s	     144 B/op	       3 allocs/op
+BenchmarkCompressDelta     	    2000	      1980 ns/op	  32.32 MB/s	     144 B/op	       3 allocs/op
+BenchmarkCompressFPC-8     	    2000	      6476 ns/op	      72 B/op	       7 allocs/op
+BenchmarkNoCStepIdle       	    2000	      2736 ns/op
+BenchmarkTraceGeneration   	    2000	       845.0 ns/op
+BenchmarkTraceGeneration   	    2000	       691.0 ns/op
+PASS
+`
+
+const newBench = `
+BenchmarkCompressDelta-8   	    2000	      1100 ns/op	      80 B/op	       1 allocs/op
+BenchmarkCompressFPC       	    2000	      7500 ns/op	      80 B/op	       1 allocs/op
+BenchmarkNoCStepIdle-8     	    2000	      2800 ns/op
+BenchmarkBlockContent      	    2000	     11618 ns/op
+PASS
+`
+
+func parse(t *testing.T, s string) map[string]benchResult {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := parse(t, oldBench)
+	if len(m) != 4 {
+		t.Fatalf("parsed %d benches, want 4: %v", len(m), m)
+	}
+	// Repeated lines (from -count>1) keep the lowest ns/op, whichever
+	// order they appear in.
+	d := m["BenchmarkCompressDelta"]
+	if d.NsPerOp != 1625 || d.BytesPerOp != 144 || d.AllocsPerOp != 3 {
+		t.Errorf("CompressDelta = %+v", d)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so runs from different
+	// machines compare.
+	if _, ok := m["BenchmarkCompressFPC"]; !ok {
+		t.Error("suffixed name BenchmarkCompressFPC-8 not normalized")
+	}
+	if n := m["BenchmarkNoCStepIdle"]; n.AllocsPerOp != -1 || n.BytesPerOp != -1 {
+		t.Errorf("absent memory fields should be -1, got %+v", n)
+	}
+	if tg := m["BenchmarkTraceGeneration"]; tg.NsPerOp != 691.0 {
+		t.Errorf("min-of-repeats / fractional ns/op parsed as %v", tg.NsPerOp)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	old, cur := parse(t, oldBench), parse(t, newBench)
+	gate := regexp.MustCompile(`Compress|NoCStep`)
+	report, failed := compare(old, cur, gate, 10)
+	// FPC regressed 6476 -> 7500 (+15.8%): must fail the 10% gate.
+	if len(failed) != 1 || failed[0] != "BenchmarkCompressFPC" {
+		t.Errorf("failed = %v, want [BenchmarkCompressFPC]", failed)
+	}
+	// Delta improved and NoCStepIdle regressed only 2.3%: both pass.
+	if !strings.Contains(report, "REGRESSION") {
+		t.Error("report should mark the regression")
+	}
+	if !strings.Contains(report, "(no baseline for BenchmarkBlockContent)") {
+		t.Error("new-only benchmarks should be noted")
+	}
+	// TraceGeneration is absent from the new file: silently skipped from
+	// the table but present in neither failure list.
+	if strings.Contains(report, "TraceGeneration") {
+		t.Error("benchmarks missing from the new run should not be compared")
+	}
+}
+
+func TestCompareNoGate(t *testing.T) {
+	old, cur := parse(t, oldBench), parse(t, newBench)
+	_, failed := compare(old, cur, nil, 10)
+	if len(failed) != 0 {
+		t.Errorf("no gate should never fail, got %v", failed)
+	}
+}
+
+func TestDeltaPct(t *testing.T) {
+	if d := deltaPct(100, 90); d != -10 {
+		t.Errorf("deltaPct(100,90) = %v", d)
+	}
+	if d := deltaPct(0, 50); d != 0 {
+		t.Errorf("deltaPct(0,50) = %v, want 0 (guard)", d)
+	}
+}

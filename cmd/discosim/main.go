@@ -20,6 +20,7 @@ import (
 	"github.com/disco-sim/disco/internal/experiments"
 	"github.com/disco-sim/disco/internal/metrics"
 	"github.com/disco-sim/disco/internal/noc"
+	"github.com/disco-sim/disco/internal/simrun"
 	"github.com/disco-sim/disco/internal/trace"
 )
 
@@ -42,6 +43,9 @@ func main() {
 		metricsOut   = flag.String("metrics", "", "with -run: write the metrics-registry JSON export to this file")
 		metricsEvery = flag.Uint64("metrics-every", 0, "time-series sampling interval in cycles (0 = default)")
 		traceBin     = flag.String("trace-bin", "", "with -run: write a binary event trace (analyze with discotrace)")
+
+		jobs    = flag.Int("j", 0, "parallel simulation workers (0 = all cores); results are byte-identical at any setting")
+		noCache = flag.Bool("no-cache", false, "disable the cross-figure run memo cache")
 	)
 	flag.Parse()
 
@@ -71,6 +75,18 @@ func main() {
 	if *benchs != "" {
 		o.Benchmarks = strings.Split(*benchs, ",")
 	}
+	// One scheduler for the whole invocation: experiments submit their
+	// cells to it, and the memo cache dedupes shared baselines across
+	// figures. Artifacts go to stdout/files; the summary goes to stderr
+	// so redirected output stays byte-identical.
+	o.Runner = simrun.New(*jobs, !*noCache)
+	defer func() {
+		st := o.Runner.Stats()
+		if st.Submitted > 0 {
+			fmt.Fprintf(os.Stderr, "simrun: %d cells (%d simulated, %d cache hits), j=%d\n",
+				st.Submitted, st.Executed, st.Hits, o.Runner.Workers())
+		}
+	}()
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {

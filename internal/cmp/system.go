@@ -76,6 +76,7 @@ type System struct {
 	nextPktID    uint64
 	compCache    map[cache.Addr]compress.Compressed
 	contentCache map[cache.Addr][]byte
+	contentArena []byte // chunked backing store for contentCache blocks
 	sc2Trained   bool
 
 	// Stats.
@@ -188,8 +189,12 @@ func (s *System) trainSC2() {
 	if !ok || tr.Trained() {
 		return
 	}
+	// Observe copies the values it samples, so one scratch block serves
+	// the whole training loop.
+	var scratch []byte
 	for i := 0; i < 1024; i++ {
-		tr.Observe(s.cfg.Profile.Content(trace.PrivateBase(i%8) + uint64(i*37)))
+		scratch = s.cfg.Profile.AppendContent(scratch[:0], trace.PrivateBase(i%8)+uint64(i*37))
+		tr.Observe(scratch)
 	}
 	tr.Retrain()
 	s.sc2Trained = true
@@ -197,12 +202,19 @@ func (s *System) trainSC2() {
 
 // content returns a block's (eternal) value, memoized. Data values are a
 // pure function of address so compressibility is a stable block property;
-// see DESIGN.md §3.
+// see DESIGN.md §3. Cached blocks are carved out of a chunked arena so a
+// long run costs one allocation per 256 blocks instead of one per block.
 func (s *System) content(addr cache.Addr) []byte {
 	if b, ok := s.contentCache[addr]; ok {
 		return b
 	}
-	b := s.cfg.Profile.Content(uint64(addr))
+	const arenaBlocks = 256
+	if cap(s.contentArena)-len(s.contentArena) < compress.BlockSize {
+		s.contentArena = make([]byte, 0, arenaBlocks*compress.BlockSize)
+	}
+	off := len(s.contentArena)
+	s.contentArena = s.cfg.Profile.AppendContent(s.contentArena, uint64(addr))
+	b := s.contentArena[off:len(s.contentArena):len(s.contentArena)]
 	s.contentCache[addr] = b
 	return b
 }

@@ -13,15 +13,38 @@ func (w *bitWriter) writeBits(v uint64, n int) {
 	if n < 0 || n > 64 {
 		panic("compress: writeBits width out of range")
 	}
-	for i := n - 1; i >= 0; i-- {
-		bit := byte(v>>uint(i)) & 1
-		if w.nbit%8 == 0 {
-			w.buf = append(w.buf, 0)
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	// Grow to the final byte length up front (reusing capacity), then
+	// deposit the field in at most three strides: the tail of the current
+	// partial byte, whole bytes, and a leading partial byte.
+	need := (w.nbit + n + 7) / 8
+	for len(w.buf) < need {
+		w.buf = append(w.buf, 0)
+	}
+	if rem := w.nbit % 8; rem != 0 {
+		// Fill the free low bits of the current byte.
+		free := 8 - rem
+		take := n
+		if take > free {
+			take = free
 		}
-		if bit != 0 {
-			w.buf[w.nbit/8] |= 0x80 >> uint(w.nbit%8)
-		}
-		w.nbit++
+		w.buf[w.nbit/8] |= byte(v>>uint(n-take)) << uint(free-take)
+		w.nbit += take
+		n -= take
+	}
+	for n >= 8 {
+		w.buf[w.nbit/8] = byte(v >> uint(n-8))
+		w.nbit += 8
+		n -= 8
+	}
+	if n > 0 {
+		w.buf[w.nbit/8] = byte(v&(1<<uint(n)-1)) << uint(8-n)
+		w.nbit += n
 	}
 }
 
@@ -42,11 +65,27 @@ func (r *bitReader) readBits(n int) (v uint64, ok bool) {
 	if n < 0 || n > 64 || r.pos+n > 8*len(r.buf) {
 		return 0, false
 	}
-	for i := 0; i < n; i++ {
+	// Mirror of writeBits: drain the current partial byte, then whole
+	// bytes, then the high bits of a final partial byte.
+	if rem := r.pos % 8; rem != 0 && n > 0 {
+		avail := 8 - rem
+		take := n
+		if take > avail {
+			take = avail
+		}
 		b := r.buf[r.pos/8]
-		bit := (b >> uint(7-r.pos%8)) & 1
-		v = v<<1 | uint64(bit)
-		r.pos++
+		v = uint64(b>>uint(avail-take)) & (1<<uint(take) - 1)
+		r.pos += take
+		n -= take
+	}
+	for n >= 8 {
+		v = v<<8 | uint64(r.buf[r.pos/8])
+		r.pos += 8
+		n -= 8
+	}
+	if n > 0 {
+		v = v<<uint(n) | uint64(r.buf[r.pos/8]>>uint(8-n))
+		r.pos += n
 	}
 	return v, true
 }

@@ -1,0 +1,102 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// refWriteBits is the original bit-at-a-time packer, kept as the format
+// oracle for the batched writeBits fast path.
+func refWriteBits(buf []byte, nbit int, v uint64, n int) ([]byte, int) {
+	for i := n - 1; i >= 0; i-- {
+		bit := byte(v>>uint(i)) & 1
+		if nbit%8 == 0 {
+			buf = append(buf, 0)
+		}
+		if bit != 0 {
+			buf[nbit/8] |= 0x80 >> uint(nbit%8)
+		}
+		nbit++
+	}
+	return buf, nbit
+}
+
+func TestWriteBitsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var w bitWriter
+		var ref []byte
+		refBits := 0
+		for field := 0; field < 40; field++ {
+			n := rng.Intn(65)
+			v := rng.Uint64()
+			w.writeBits(v, n)
+			ref, refBits = refWriteBits(ref, refBits, v, n)
+		}
+		if w.bits() != refBits {
+			t.Fatalf("trial %d: bits = %d, want %d", trial, w.bits(), refBits)
+		}
+		if !bytes.Equal(w.bytes(), ref) {
+			t.Fatalf("trial %d: buf = %x, want %x", trial, w.bytes(), ref)
+		}
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		type field struct {
+			v uint64
+			n int
+		}
+		var fields []field
+		var w bitWriter
+		for i := 0; i < 50; i++ {
+			n := rng.Intn(65)
+			v := rng.Uint64()
+			if n < 64 {
+				v &= 1<<uint(n) - 1
+			}
+			fields = append(fields, field{v, n})
+			w.writeBits(v, n)
+		}
+		r := bitReader{buf: w.bytes()}
+		for i, f := range fields {
+			got, ok := r.readBits(f.n)
+			if !ok {
+				t.Fatalf("trial %d field %d: underrun", trial, i)
+			}
+			if got != f.v {
+				t.Fatalf("trial %d field %d: read %#x, want %#x (width %d)", trial, i, got, f.v, f.n)
+			}
+		}
+	}
+}
+
+func TestWriteBitsPanicsOnBadWidth(t *testing.T) {
+	for _, n := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("writeBits(%d) did not panic", n)
+				}
+			}()
+			var w bitWriter
+			w.writeBits(0, n)
+		}()
+	}
+}
+
+func TestReadBitsUnderrun(t *testing.T) {
+	r := bitReader{buf: []byte{0xff}}
+	if _, ok := r.readBits(9); ok {
+		t.Error("readBits(9) on 1 byte should fail")
+	}
+	if _, ok := r.readBits(8); !ok {
+		t.Error("readBits(8) on 1 byte should succeed")
+	}
+	if r.remaining() != 0 {
+		t.Errorf("remaining = %d, want 0", r.remaining())
+	}
+}

@@ -80,7 +80,8 @@ func (d *cpackDict) match(w uint32) (idx, kind int) {
 func (a *CPack) Compress(block []byte) Compressed {
 	checkBlock(block)
 	ws := words32(block)
-	var w bitWriter
+	// Worst case is 2+32 bits per word (68 bytes); allocate once.
+	w := bitWriter{buf: make([]byte, 0, BlockSize+8)}
 	var dict cpackDict
 	for _, word := range ws {
 		if word == 0 {

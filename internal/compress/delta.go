@@ -1,6 +1,9 @@
 package compress
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // Delta implements the paper's delta-based compressor (Section 3.2,
 // Fig. 4): a 64-byte block is viewed as eight 8-byte flits; flit 0 is kept
@@ -78,97 +81,159 @@ func halfDeltaSizeBits(d int) int {
 	return 2 + (halfDeltaElems - 1) + 8*4 + (halfDeltaElems-1)*8*d
 }
 
-// planHalfDelta tries the 4-byte-granularity unit (base = first 4-byte
-// element or zero) with width-d deltas.
-func planHalfDelta(block []byte, d int) (zeroSel uint16, deltas [halfDeltaElems - 1]int32, ok bool) {
-	bits := 8 * d
+// minDeltaWidth returns the smallest width in {1,2,4} (capped at max)
+// whose signed range holds x, or 0 when none does. x fits k bits iff its
+// sign-folded magnitude has fewer than k significant bits.
+func minDeltaWidth(x int64, max int) int {
+	l := bits.Len64(uint64(x ^ (x >> 63)))
+	switch {
+	case l < 8:
+		return 1
+	case l < 16 && max >= 2:
+		return 2
+	case l < 32 && max >= 4:
+		return 4
+	}
+	return 0
+}
+
+// compressHalfDelta runs the 4-byte-granularity unit (base = first
+// element or zero) with its width capped at max ∈ {1,2} — wider
+// half-flit deltas can never beat the caller's current best — and
+// returns the encoded payload, or nil when no capped width fits. One
+// pass finds the required width, a second lays the unit out.
+func compressHalfDelta(block []byte, max int) ([]byte, int) {
 	var elems [halfDeltaElems]uint32
 	for i := range elems {
-		elems[i] = uint32(block[i*4]) | uint32(block[i*4+1])<<8 |
-			uint32(block[i*4+2])<<16 | uint32(block[i*4+3])<<24
+		elems[i] = binary.LittleEndian.Uint32(block[i*4:])
 	}
+	var wZero [halfDeltaElems - 1]int
+	req := 1
 	for i := 0; i < halfDeltaElems-1; i++ {
-		dBase := int64(int32(elems[i+1] - elems[0]))
 		dZero := int64(int32(elems[i+1]))
-		switch {
-		case fitsSigned(dZero, bits):
-			zeroSel |= 1 << uint(i)
-			deltas[i] = int32(dZero)
-		case fitsSigned(dBase, bits):
-			deltas[i] = int32(dBase)
-		default:
-			return 0, deltas, false
+		wz := minDeltaWidth(dZero, max)
+		wZero[i] = wz
+		w := wz
+		if w != 1 {
+			dBase := int64(int32(elems[i+1] - elems[0]))
+			if wb := minDeltaWidth(dBase, max); wb != 0 && (w == 0 || wb < w) {
+				w = wb
+			}
+		}
+		if w == 0 {
+			return nil, 0
+		}
+		if w > req {
+			req = w
 		}
 	}
-	return zeroSel, deltas, true
+	// Layout: marker 0xF0|width, 2-byte base-select bitmap, 4-byte base,
+	// then the deltas (little-endian, req bytes each).
+	out := make([]byte, 7+(halfDeltaElems-1)*req)
+	out[3], out[4], out[5], out[6] = block[0], block[1], block[2], block[3]
+	var zeroSel uint16
+	pos := 7
+	for i := 0; i < halfDeltaElems-1; i++ {
+		var v uint32
+		if wZero[i] != 0 && wZero[i] <= req {
+			// Prefer the zero base on ties (see deltaReqWidth's caller).
+			zeroSel |= 1 << uint(i)
+			v = elems[i+1]
+		} else {
+			v = elems[i+1] - elems[0]
+		}
+		for b := 0; b < req; b++ {
+			out[pos+b] = byte(v >> uint(8*b))
+		}
+		pos += req
+	}
+	out[0], out[1], out[2] = byte(0xF0|req), byte(zeroSel), byte(zeroSel>>8)
+	return out, req
 }
 
 // Compress implements Algorithm. The "multiple compressor units" of
 // Fig. 4 are tried in parallel — 8-byte flit granularity with Δ ∈
 // {1,2,4} and 4-byte half-flit granularity with Δ ∈ {1,2} — and the
-// selection logic keeps the smallest encoding.
+// selection logic keeps the smallest encoding. Feasibility is monotone
+// in the delta width, so one pass per granularity finds the width the
+// unit bank would select and only the winning plan is laid out.
 func (a *Delta) Compress(block []byte) Compressed {
 	checkBlock(block)
 	flits := words64(block)
-	best := Compressed{SizeBits: 8 * BlockSize}
-	found := false
-	for _, d := range []int{1, 2, 4} {
-		plan, ok := planDelta(&flits, d)
-		if !ok {
-			continue
-		}
-		if size := deltaSizeBits(d); size < best.SizeBits {
-			best = Compressed{Alg: a.Name(), SizeBits: size, Payload: encodeDelta(&flits, plan)}
-			found = true
-		}
-		break // wider 8B deltas only get bigger
-	}
-	for _, d := range []int{1, 2} {
-		zeroSel, deltas, ok := planHalfDelta(block, d)
-		if !ok {
-			continue
-		}
-		if size := halfDeltaSizeBits(d); size < best.SizeBits {
-			best = Compressed{Alg: a.Name(), SizeBits: size,
-				Payload: encodeHalfDelta(block, d, zeroSel, deltas)}
-			found = true
-		}
-		break
-	}
-	if found {
-		return best
-	}
-	return stored(a.Name(), block)
-}
-
-// encodeHalfDelta lays out the 4-byte-granularity unit: marker 0xF0|width,
-// 2-byte base-select bitmap, 4-byte base, then the deltas.
-func encodeHalfDelta(block []byte, width int, zeroSel uint16, deltas [halfDeltaElems - 1]int32) []byte {
-	out := make([]byte, 0, 7+(halfDeltaElems-1)*width)
-	out = append(out, byte(0xF0|width), byte(zeroSel), byte(zeroSel>>8))
-	out = append(out, block[0], block[1], block[2], block[3])
-	for i := 0; i < halfDeltaElems-1; i++ {
-		v := uint32(deltas[i])
-		for b := 0; b < width; b++ {
-			out = append(out, byte(v>>uint(8*b)))
-		}
-	}
-	return out
-}
-
-// encodeDelta lays the plan out as bytes: width, base-select bitmap, base
-// flit, then the deltas (little-endian, plan.width bytes each).
-func encodeDelta(flits *[BlockSize / FlitBytes]uint64, p deltaPlan) []byte {
-	out := make([]byte, 0, 2+FlitBytes+deltaFlits*p.width)
-	out = append(out, byte(p.width), p.zeroSel)
-	out = binary.LittleEndian.AppendUint64(out, flits[0])
+	var wZero [deltaFlits]int
+	req8 := 1
 	for i := 0; i < deltaFlits; i++ {
-		v := uint64(p.deltas[i])
-		for b := 0; b < p.width; b++ {
-			out = append(out, byte(v>>uint(8*b)))
+		wz := minDeltaWidth(int64(flits[i+1]), 4)
+		wZero[i] = wz
+		w := wz
+		if w != 1 {
+			// Only the other base can improve on (or rescue) this flit.
+			if wb := minDeltaWidth(int64(flits[i+1]-flits[0]), 4); wb != 0 && (w == 0 || wb < w) {
+				w = wb
+			}
+		}
+		if w == 0 {
+			req8 = 0
+			break
+		}
+		if w > req8 {
+			req8 = w
 		}
 	}
-	return out
+	// The half-flit unit wins ties to the 8B unit only by being strictly
+	// smaller, so cap its width at the widest that could still win —
+	// req8 == 1 (129 bits) beats even Δ1 half-flit (169 bits), skipping
+	// the whole pass.
+	capHalf := 0
+	switch {
+	case req8 == 0 || req8 == 4:
+		capHalf = 2
+	case req8 == 2:
+		capHalf = 1
+	}
+	if capHalf != 0 {
+		if payload, reqHalf := compressHalfDelta(block, capHalf); payload != nil {
+			return Compressed{Alg: a.Name(), SizeBits: halfDeltaSizeBits(reqHalf), Payload: payload}
+		}
+	}
+	if req8 == 0 {
+		return stored(a.Name(), block)
+	}
+	// Layout: width, base-select bitmap, base flit, then the deltas
+	// (little-endian, req8 bytes each). The zero base is preferred on
+	// ties so an all-zero block encodes with an all-zero delta vector.
+	out := make([]byte, 2+FlitBytes+deltaFlits*req8)
+	binary.LittleEndian.PutUint64(out[2:], flits[0])
+	var zeroSel uint8
+	if req8 == 1 {
+		// The dominant width: one byte per delta, no inner loop.
+		for i := 0; i < deltaFlits; i++ {
+			v := flits[i+1]
+			if wZero[i] == 1 {
+				zeroSel |= 1 << uint(i)
+			} else {
+				v -= flits[0]
+			}
+			out[2+FlitBytes+i] = byte(v)
+		}
+	} else {
+		pos := 2 + FlitBytes
+		for i := 0; i < deltaFlits; i++ {
+			var v uint64
+			if wZero[i] != 0 && wZero[i] <= req8 {
+				zeroSel |= 1 << uint(i)
+				v = flits[i+1]
+			} else {
+				v = flits[i+1] - flits[0]
+			}
+			for b := 0; b < req8; b++ {
+				out[pos+b] = byte(v >> uint(8*b))
+			}
+			pos += req8
+		}
+	}
+	out[0], out[1] = byte(req8), zeroSel
+	return Compressed{Alg: a.Name(), SizeBits: deltaSizeBits(req8), Payload: out}
 }
 
 // Decompress implements Algorithm.

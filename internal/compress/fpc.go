@@ -46,7 +46,9 @@ const (
 func (a *FPC) Compress(block []byte) Compressed {
 	checkBlock(block)
 	ws := words32(block)
-	var w bitWriter
+	// Worst case is 3+32 bits per word (70 bytes); one up-front
+	// allocation covers it, so writeBits never regrows.
+	w := bitWriter{buf: make([]byte, 0, BlockSize+8)}
 	for i := 0; i < len(ws); {
 		if ws[i] == 0 {
 			run := 1
@@ -211,7 +213,8 @@ const (
 func (a *SFPC) Compress(block []byte) Compressed {
 	checkBlock(block)
 	ws := words32(block)
-	var w bitWriter
+	// Worst case is 2+32 bits per word (68 bytes); allocate once.
+	w := bitWriter{buf: make([]byte, 0, BlockSize+8)}
 	for _, word := range ws {
 		se := int64(int32(word))
 		switch {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/disco"
+	"github.com/disco-sim/disco/internal/simrun"
 	"github.com/disco-sim/disco/internal/trace"
 )
 
@@ -44,19 +45,31 @@ func Ablation(o Opts) (AblationResult, error) {
 	if err != nil {
 		return AblationResult{}, err
 	}
-	ideal := make([]float64, len(profs))
+	r := o.runner()
+	variants := ablationVariants()
+	idealFuts := make([]*simrun.Future, len(profs))
 	for i, p := range profs {
-		r, err := runOne(cmp.Ideal, "delta", p, o, 0)
+		idealFuts[i] = submitOne(r, cmp.Ideal, "delta", p, o, 0)
+	}
+	varFuts := make([][]*simrun.Future, len(variants))
+	for vi, v := range variants {
+		for _, p := range profs {
+			varFuts[vi] = append(varFuts[vi], submitVariant(r, p, o, v.mut))
+		}
+	}
+	ideal := make([]float64, len(profs))
+	for i := range profs {
+		res, err := idealFuts[i].Wait()
 		if err != nil {
 			return AblationResult{}, err
 		}
-		ideal[i] = r.AvgMissLatency
+		ideal[i] = res.AvgMissLatency
 	}
 	var res AblationResult
-	for _, v := range ablationVariants() {
+	for vi, v := range variants {
 		sum, n := 0.0, 0
-		for i, p := range profs {
-			r, err := runVariant(p, o, v.mut)
+		for i := range profs {
+			r, err := varFuts[vi][i].Wait()
 			if err != nil {
 				return res, err
 			}
@@ -68,21 +81,19 @@ func Ablation(o Opts) (AblationResult, error) {
 	return res, nil
 }
 
-// runVariant runs one DISCO system with a mutated policy config.
-func runVariant(p trace.Profile, o Opts, mut func(*disco.Config)) (cmp.Results, error) {
-	alg := newAlg("delta")
-	cfg := cmp.DefaultConfig(cmp.DISCO, alg, p)
-	cfg.OpsPerCore = o.Ops
-	cfg.WarmupOps = o.Warmup
-	cfg.Seed = o.Seed
-	dc := disco.DefaultConfig(alg)
-	mut(&dc)
-	cfg.Disco = &dc
-	sys, err := cmp.New(cfg)
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	return sys.Run()
+// submitVariant schedules one DISCO system with a mutated policy config.
+func submitVariant(r *simrun.Runner, p trace.Profile, o Opts, mut func(*disco.Config)) *simrun.Future {
+	return submitCfg(r, func() cmp.Config {
+		alg := newAlg("delta")
+		cfg := cmp.DefaultConfig(cmp.DISCO, alg, p)
+		cfg.OpsPerCore = o.Ops
+		cfg.WarmupOps = o.Warmup
+		cfg.Seed = o.Seed
+		dc := disco.DefaultConfig(alg)
+		mut(&dc)
+		cfg.Disco = &dc
+		return cfg
+	})
 }
 
 // Table renders the ablation study.

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"github.com/disco-sim/disco/internal/cmp"
+	"github.com/disco-sim/disco/internal/simrun"
 )
 
 // BatchCSV runs every (benchmark × mode) combination with the given
@@ -27,9 +28,17 @@ func BatchCSV(o Opts, alg string, w io.Writer) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, p := range profs {
-		for _, mode := range []cmp.Mode{cmp.Baseline, cmp.Ideal, cmp.CC, cmp.CNC, cmp.DISCO} {
-			r, err := runOne(mode, alg, p, o, 0)
+	modes := []cmp.Mode{cmp.Baseline, cmp.Ideal, cmp.CC, cmp.CNC, cmp.DISCO}
+	rn := o.runner()
+	futs := make([][]*simrun.Future, len(profs))
+	for i, p := range profs {
+		for _, mode := range modes {
+			futs[i] = append(futs[i], submitOne(rn, mode, alg, p, o, 0))
+		}
+	}
+	for i := range profs {
+		for mi := range modes {
+			r, err := futs[i][mi].Wait()
 			if err != nil {
 				return err
 			}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/disco"
+	"github.com/disco-sim/disco/internal/simrun"
 )
 
 // CalibrationPoint is one (CCth, CDth) grid point's outcome.
@@ -42,36 +43,54 @@ func CalibrateThresholds(o Opts, ccths, cdths []float64) (CalibrationResult, err
 	if err != nil {
 		return CalibrationResult{}, err
 	}
-	ideal := make([]float64, len(profs))
+	rn := o.runner()
+	idealFuts := make([]*simrun.Future, len(profs))
 	for i, p := range profs {
-		r, err := runOne(cmp.Ideal, "delta", p, o, 0)
+		idealFuts[i] = submitOne(rn, cmp.Ideal, "delta", p, o, 0)
+	}
+	type gridPoint struct {
+		cc, cd float64
+		futs   []*simrun.Future
+	}
+	var grid []gridPoint
+	for _, cc := range ccths {
+		for _, cd := range cdths {
+			cc, cd := cc, cd
+			gp := gridPoint{cc: cc, cd: cd}
+			for _, p := range profs {
+				gp.futs = append(gp.futs, submitVariant(rn, p, o, func(c *disco.Config) {
+					c.CCth, c.CDth = cc, cd
+				}))
+			}
+			grid = append(grid, gp)
+		}
+	}
+	ideal := make([]float64, len(profs))
+	for i := range profs {
+		r, err := idealFuts[i].Wait()
 		if err != nil {
 			return CalibrationResult{}, err
 		}
 		ideal[i] = r.AvgMissLatency
 	}
 	var res CalibrationResult
-	for _, cc := range ccths {
-		for _, cd := range cdths {
-			var pt CalibrationPoint
-			pt.CCth, pt.CDth = cc, cd
-			sum := 0.0
-			for i, p := range profs {
-				r, err := runVariant(p, o, func(c *disco.Config) {
-					c.CCth, c.CDth = cc, cd
-				})
-				if err != nil {
-					return res, err
-				}
-				sum += r.AvgMissLatency / ideal[i]
-				pt.EngineOps += r.Net.Compressions + r.Net.Decompressions
-				pt.Releases += r.Net.EngineReleases
+	for _, gp := range grid {
+		var pt CalibrationPoint
+		pt.CCth, pt.CDth = gp.cc, gp.cd
+		sum := 0.0
+		for i := range profs {
+			r, err := gp.futs[i].Wait()
+			if err != nil {
+				return res, err
 			}
-			pt.Latency = sum / float64(len(profs))
-			res.Points = append(res.Points, pt)
-			if res.Best.Latency == 0 || pt.Latency < res.Best.Latency {
-				res.Best = pt
-			}
+			sum += r.AvgMissLatency / ideal[i]
+			pt.EngineOps += r.Net.Compressions + r.Net.Decompressions
+			pt.Releases += r.Net.EngineReleases
+		}
+		pt.Latency = sum / float64(len(profs))
+		res.Points = append(res.Points, pt)
+		if res.Best.Latency == 0 || pt.Latency < res.Best.Latency {
+			res.Best = pt
 		}
 	}
 	return res, nil

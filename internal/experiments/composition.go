@@ -5,6 +5,7 @@ import (
 
 	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/energy"
+	"github.com/disco-sim/disco/internal/simrun"
 )
 
 // CompositionRow is one mode's absolute on-chip energy split for a single
@@ -36,8 +37,14 @@ func Composition(o Opts) (CompositionResult, error) {
 	}
 	p := profs[0]
 	res := CompositionResult{Bench: p.Name}
-	for _, mode := range []cmp.Mode{cmp.Baseline, cmp.Ideal, cmp.CC, cmp.CNC, cmp.DISCO} {
-		r, err := runOne(mode, "delta", p, o, 0)
+	rn := o.runner()
+	modes := []cmp.Mode{cmp.Baseline, cmp.Ideal, cmp.CC, cmp.CNC, cmp.DISCO}
+	futs := make([]*simrun.Future, 0, len(modes))
+	for _, mode := range modes {
+		futs = append(futs, submitOne(rn, mode, "delta", p, o, 0))
+	}
+	for mi, mode := range modes {
+		r, err := futs[mi].Wait()
 		if err != nil {
 			return res, err
 		}

@@ -21,6 +21,7 @@ import (
 	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/compress"
 	"github.com/disco-sim/disco/internal/energy"
+	"github.com/disco-sim/disco/internal/simrun"
 	"github.com/disco-sim/disco/internal/stats"
 	"github.com/disco-sim/disco/internal/trace"
 )
@@ -33,6 +34,13 @@ type Opts struct {
 	Benchmarks []string
 	// Seed drives the deterministic workloads.
 	Seed int64
+	// Runner optionally supplies a shared parallel scheduler and memo
+	// cache (see internal/simrun); sharing one across experiments
+	// dedupes their common baseline cells. Nil gives each experiment a
+	// private runner at default parallelism. Results are reduced in
+	// submission order, so every artifact is byte-identical whatever
+	// the worker count or cache setting.
+	Runner *simrun.Runner `json:"-"`
 }
 
 // Default returns the full-fidelity settings used for EXPERIMENTS.md.
@@ -60,6 +68,15 @@ func (o Opts) profiles() ([]trace.Profile, error) {
 	return out, nil
 }
 
+// runner resolves the cell scheduler, creating a private one (default
+// parallelism, memoization on) when the caller did not share one.
+func (o Opts) runner() *simrun.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return simrun.New(0, true)
+}
+
 // newAlg builds a fresh algorithm instance per run (SC² carries trained
 // state, so sharing across systems would leak information).
 func newAlg(name string) compress.Algorithm {
@@ -70,24 +87,38 @@ func newAlg(name string) compress.Algorithm {
 	return a
 }
 
-// runOne executes one (mode, algorithm, profile) full-system simulation.
-func runOne(mode cmp.Mode, alg string, prof trace.Profile, o Opts, k int) (cmp.Results, error) {
-	var a compress.Algorithm
-	if mode != cmp.Baseline {
-		a = newAlg(alg)
-	}
-	cfg := cmp.DefaultConfig(mode, a, prof)
-	cfg.OpsPerCore = o.Ops
-	cfg.WarmupOps = o.Warmup
-	cfg.Seed = o.Seed
-	if k != 0 {
-		cfg.K = k
-	}
-	sys, err := cmp.New(cfg)
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	return sys.Run()
+// submitCfg fingerprints the cell build describes and schedules it; the
+// runner invokes build again on execution so every simulation gets fresh
+// algorithm state.
+func submitCfg(r *simrun.Runner, build func() cmp.Config) *simrun.Future {
+	cfg := build()
+	return r.Submit(simrun.KeyFor(&cfg), func() (cmp.Results, error) {
+		c := build()
+		sys, err := cmp.New(c)
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		return sys.Run()
+	})
+}
+
+// submitOne schedules one (mode, algorithm, profile) full-system
+// simulation cell.
+func submitOne(r *simrun.Runner, mode cmp.Mode, alg string, prof trace.Profile, o Opts, k int) *simrun.Future {
+	return submitCfg(r, func() cmp.Config {
+		var a compress.Algorithm
+		if mode != cmp.Baseline {
+			a = newAlg(alg)
+		}
+		cfg := cmp.DefaultConfig(mode, a, prof)
+		cfg.OpsPerCore = o.Ops
+		cfg.WarmupOps = o.Warmup
+		cfg.Seed = o.Seed
+		if k != 0 {
+			cfg.K = k
+		}
+		return cfg
+	})
 }
 
 // table renders rows with a header through a tabwriter.
@@ -218,21 +249,29 @@ func latencyFigure(alg string, o Opts, k int) (LatencyResult, error) {
 		return LatencyResult{}, err
 	}
 	res := LatencyResult{Algorithm: alg}
+	r := o.runner()
+	modes := []cmp.Mode{cmp.Ideal, cmp.CC, cmp.CNC, cmp.DISCO}
+	futs := make([][]*simrun.Future, len(profs))
+	for i, p := range profs {
+		for _, m := range modes {
+			futs[i] = append(futs[i], submitOne(r, m, alg, p, o, k))
+		}
+	}
 	var gcc, gcnc, gdisco []float64
-	for _, p := range profs {
-		ideal, err := runOne(cmp.Ideal, alg, p, o, k)
+	for i, p := range profs {
+		ideal, err := futs[i][0].Wait()
 		if err != nil {
 			return res, err
 		}
-		cc, err := runOne(cmp.CC, alg, p, o, k)
+		cc, err := futs[i][1].Wait()
 		if err != nil {
 			return res, err
 		}
-		cnc, err := runOne(cmp.CNC, alg, p, o, k)
+		cnc, err := futs[i][2].Wait()
 		if err != nil {
 			return res, err
 		}
-		d, err := runOne(cmp.DISCO, alg, p, o, k)
+		d, err := futs[i][3].Wait()
 		if err != nil {
 			return res, err
 		}
@@ -326,21 +365,29 @@ func Fig7(o Opts) (EnergyResult, error) {
 		return EnergyResult{}, err
 	}
 	var res EnergyResult
+	r := o.runner()
+	modes := []cmp.Mode{cmp.Baseline, cmp.CC, cmp.CNC, cmp.DISCO}
+	futs := make([][]*simrun.Future, len(profs))
+	for i, p := range profs {
+		for _, m := range modes {
+			futs[i] = append(futs[i], submitOne(r, m, "delta", p, o, 0))
+		}
+	}
 	var gcc, gcnc, gdisco []float64
-	for _, p := range profs {
-		base, err := runOne(cmp.Baseline, "delta", p, o, 0)
+	for i, p := range profs {
+		base, err := futs[i][0].Wait()
 		if err != nil {
 			return res, err
 		}
-		cc, err := runOne(cmp.CC, "delta", p, o, 0)
+		cc, err := futs[i][1].Wait()
 		if err != nil {
 			return res, err
 		}
-		cnc, err := runOne(cmp.CNC, "delta", p, o, 0)
+		cnc, err := futs[i][2].Wait()
 		if err != nil {
 			return res, err
 		}
-		d, err := runOne(cmp.DISCO, "delta", p, o, 0)
+		d, err := futs[i][3].Wait()
 		if err != nil {
 			return res, err
 		}
@@ -405,24 +452,37 @@ func Fig8(o Opts) (ScaleResult, error) {
 		return ScaleResult{}, err
 	}
 	var res ScaleResult
-	for _, k := range []int{2, 4, 8} {
+	r := o.runner()
+	ks := []int{2, 4, 8}
+	modes := []cmp.Mode{cmp.Ideal, cmp.CC, cmp.DISCO}
+	futs := make(map[int][][]*simrun.Future, len(ks))
+	for _, k := range ks {
 		ops := o
 		if k == 8 && ops.Ops > 4000 {
 			// 64-core runs are ~8x the work; cap them to keep the figure
 			// affordable without changing its trend.
 			ops.Ops, ops.Warmup = 4000, 2000
 		}
+		fs := make([][]*simrun.Future, len(profs))
+		for i, p := range profs {
+			for _, m := range modes {
+				fs[i] = append(fs[i], submitOne(r, m, "delta", p, ops, k))
+			}
+		}
+		futs[k] = fs
+	}
+	for _, k := range ks {
 		var gcc, gdisco []float64
-		for _, p := range profs {
-			ideal, err := runOne(cmp.Ideal, "delta", p, ops, k)
+		for i := range profs {
+			ideal, err := futs[k][i][0].Wait()
 			if err != nil {
 				return res, err
 			}
-			cc, err := runOne(cmp.CC, "delta", p, ops, k)
+			cc, err := futs[k][i][1].Wait()
 			if err != nil {
 				return res, err
 			}
-			d, err := runOne(cmp.DISCO, "delta", p, ops, k)
+			d, err := futs[k][i][2].Wait()
 			if err != nil {
 				return res, err
 			}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/noc"
+	"github.com/disco-sim/disco/internal/simrun"
 )
 
 // MotivationRow quantifies, per benchmark, the observations that motivate
@@ -41,8 +42,13 @@ func Motivation(o Opts) (MotivationResult, error) {
 		return MotivationResult{}, err
 	}
 	var res MotivationResult
-	for _, p := range profs {
-		r, err := runOne(cmp.DISCO, "delta", p, o, 0)
+	rn := o.runner()
+	futs := make([]*simrun.Future, len(profs))
+	for i, p := range profs {
+		futs[i] = submitOne(rn, cmp.DISCO, "delta", p, o, 0)
+	}
+	for i, p := range profs {
+		r, err := futs[i].Wait()
 		if err != nil {
 			return res, err
 		}

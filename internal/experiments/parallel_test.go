@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/disco-sim/disco/internal/simrun"
+)
+
+// parallelArtifacts runs a representative artifact set (full report JSON,
+// the Fig. 5 table, the batch CSV) under one scheduler configuration and
+// returns the concatenated bytes.
+func parallelArtifacts(t *testing.T, r *simrun.Runner) []byte {
+	t.Helper()
+	o := Opts{Ops: 300, Warmup: 150, Seed: 1, Benchmarks: []string{"swaptions", "vips"}, Runner: r}
+	var out bytes.Buffer
+	rep, err := RunAll(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Write(data)
+	f5, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.WriteString(f5.Table())
+	if err := BatchCSV(o, "delta", &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestParallelRunsAreByteIdentical is the scheduler's determinism
+// contract: worker count and memo cache must not change a single artifact
+// byte relative to the serial, uncached harness.
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel determinism test runs full simulations")
+	}
+	ref := parallelArtifacts(t, simrun.New(1, false))
+	variants := []struct {
+		name   string
+		runner *simrun.Runner
+	}{
+		{"j=1 cache", simrun.New(1, true)},
+		{"j=8 no-cache", simrun.New(8, false)},
+		{"j=8 cache", simrun.New(8, true)},
+	}
+	for _, v := range variants {
+		got := parallelArtifacts(t, v.runner)
+		if !bytes.Equal(got, ref) {
+			t.Errorf("%s: artifacts differ from serial uncached run (len %d vs %d)",
+				v.name, len(got), len(ref))
+		}
+	}
+}
+
+// TestRunAllSharesBaselines checks the cross-figure memoization: one
+// RunAll invocation must dedupe the baseline cells Fig. 5, Fig. 7, Fig. 8
+// and the ablation share.
+func TestRunAllSharesBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memoization test runs full simulations")
+	}
+	r := simrun.New(4, true)
+	o := Opts{Ops: 300, Warmup: 150, Seed: 1, Benchmarks: []string{"swaptions"}, Runner: r}
+	if _, err := RunAll(o); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Hits == 0 {
+		t.Errorf("RunAll produced no cache hits (stats %+v); shared baselines are not deduped", st)
+	}
+	if st.Executed+st.Hits != st.Submitted {
+		t.Errorf("stats do not add up: %+v", st)
+	}
+}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+
+	"github.com/disco-sim/disco/internal/simrun"
 )
 
 // Report bundles every experiment's structured results for machine
@@ -18,7 +20,13 @@ type Report struct {
 }
 
 // RunAll executes every experiment and collects the structured results.
+// All figures share one runner, so their common baseline cells (e.g. the
+// Ideal/CC/CNC delta runs of Fig. 5, Fig. 7 and the ablation) simulate
+// exactly once.
 func RunAll(o Opts) (*Report, error) {
+	if o.Runner == nil {
+		o.Runner = simrun.New(0, true)
+	}
 	rep := &Report{Opts: o}
 	t1, err := Table1(o)
 	if err != nil {

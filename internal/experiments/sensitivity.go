@@ -6,6 +6,7 @@ import (
 	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/compress"
 	"github.com/disco-sim/disco/internal/noc"
+	"github.com/disco-sim/disco/internal/simrun"
 	"github.com/disco-sim/disco/internal/trace"
 )
 
@@ -56,32 +57,43 @@ func Sensitivity(o Opts) (SensitivityResult, error) {
 		return SensitivityResult{}, err
 	}
 	var res SensitivityResult
-	for _, pt := range sensitivityPoints() {
-		runPoint := func(mode cmp.Mode, p trace.Profile) (cmp.Results, error) {
-			cfg := cmp.DefaultConfig(mode, compress.NewDelta(), p)
-			cfg.OpsPerCore = o.Ops
-			cfg.WarmupOps = o.Warmup
-			cfg.Seed = o.Seed
-			cfg.VCs = pt.vcs
-			cfg.BufDepth = pt.buf
-			cfg.FlowControl = pt.fc
-			sys, err := cmp.New(cfg)
-			if err != nil {
-				return cmp.Results{}, err
-			}
-			return sys.Run()
+	r := o.runner()
+	points := sensitivityPoints()
+	modes := []cmp.Mode{cmp.Ideal, cmp.CC, cmp.DISCO}
+	futs := make([][][]*simrun.Future, len(points))
+	for pi, pt := range points {
+		pt := pt
+		submitPoint := func(mode cmp.Mode, p trace.Profile) *simrun.Future {
+			return submitCfg(r, func() cmp.Config {
+				cfg := cmp.DefaultConfig(mode, compress.NewDelta(), p)
+				cfg.OpsPerCore = o.Ops
+				cfg.WarmupOps = o.Warmup
+				cfg.Seed = o.Seed
+				cfg.VCs = pt.vcs
+				cfg.BufDepth = pt.buf
+				cfg.FlowControl = pt.fc
+				return cfg
+			})
 		}
+		futs[pi] = make([][]*simrun.Future, len(profs))
+		for i, p := range profs {
+			for _, m := range modes {
+				futs[pi][i] = append(futs[pi][i], submitPoint(m, p))
+			}
+		}
+	}
+	for pi, pt := range points {
 		sumCC, sumD := 0.0, 0.0
-		for _, p := range profs {
-			ideal, err := runPoint(cmp.Ideal, p)
+		for i := range profs {
+			ideal, err := futs[pi][i][0].Wait()
 			if err != nil {
 				return res, err
 			}
-			cc, err := runPoint(cmp.CC, p)
+			cc, err := futs[pi][i][1].Wait()
 			if err != nil {
 				return res, err
 			}
-			d, err := runPoint(cmp.DISCO, p)
+			d, err := futs[pi][i][2].Wait()
 			if err != nil {
 				return res, err
 			}

@@ -1,0 +1,163 @@
+// Package simrun schedules full-system simulation cells over a bounded
+// worker pool with single-flight result memoization.
+//
+// A cell is one (mode, algorithm, benchmark, configuration) simulation —
+// the unit every figure harness in internal/experiments iterates over.
+// Cells are embarrassingly parallel (each cmp.System is self-contained
+// and deterministic for a fixed seed), so the runner executes them
+// concurrently; because results are reduced by the caller in submission
+// order, every table, figure, CSV and metrics artifact is byte-identical
+// to a serial run regardless of worker count.
+//
+// The memo cache dedupes repeated cells within and across experiments in
+// one process: Fig. 5, Fig. 7 and the ablation all need the same
+// Ideal/CC/CNC delta baselines, and re-running them is pure waste. The
+// cache is single-flight — two submissions of the same Key share one
+// simulation even when both arrive before it finishes.
+package simrun
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/disco-sim/disco/internal/cmp"
+)
+
+// Runner executes simulation cells on a bounded worker pool. Queued
+// cells run in FIFO submission order (with one worker this is exactly
+// the serial harness's execution order); workers are spawned on demand
+// and exit when the queue drains, so an idle runner holds no goroutines.
+type Runner struct {
+	workers int
+
+	mu       sync.Mutex
+	queue    []*job
+	active   int           // running worker goroutines
+	cache    map[Key]*cell // single-flight memo (nil when memoization is off)
+	hits     uint64
+	executed uint64
+	canceled bool
+	firstErr error
+}
+
+// job pairs a cell with the closure that simulates it.
+type job struct {
+	c   *cell
+	run func() (cmp.Results, error)
+}
+
+// cell is one in-flight or completed simulation shared by all futures
+// with the same Key.
+type cell struct {
+	done chan struct{}
+	res  cmp.Results
+	err  error
+}
+
+// Future is a handle to one submitted cell.
+type Future struct{ c *cell }
+
+// Wait blocks until the cell completes and returns its result. Waiting
+// in submission order yields exactly the serial harness's reduction
+// order, which is what keeps artifacts byte-identical.
+func (f *Future) Wait() (cmp.Results, error) {
+	<-f.c.done
+	return f.c.res, f.c.err
+}
+
+// Stats summarizes a runner's activity.
+type Stats struct {
+	// Submitted counts Submit calls.
+	Submitted uint64
+	// Hits counts submissions served from the memo cache (including
+	// joins on a still-running cell).
+	Hits uint64
+	// Executed counts simulations actually run.
+	Executed uint64
+}
+
+// New returns a runner with the given worker count (<= 0 selects
+// runtime.GOMAXPROCS(0)) and, when memo is true, an in-process
+// single-flight result cache.
+func New(workers int, memo bool) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{workers: workers}
+	if memo {
+		r.cache = make(map[Key]*cell)
+	}
+	return r
+}
+
+// Workers returns the concurrency bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Memoized reports whether the result cache is enabled.
+func (r *Runner) Memoized() bool { return r.cache != nil }
+
+// Stats snapshots the activity counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{Submitted: r.hits + r.executed, Hits: r.hits, Executed: r.executed}
+}
+
+// Submit schedules run under key and returns a future for its result.
+// Identical keys are single-flighted: only the first submission
+// simulates, later ones share the same cell (volatile keys always run).
+// After any cell fails, queued cells are canceled with an error that
+// wraps the first failure.
+func (r *Runner) Submit(key Key, run func() (cmp.Results, error)) *Future {
+	r.mu.Lock()
+	if r.cache != nil && !key.Volatile {
+		if c, ok := r.cache[key]; ok {
+			r.hits++
+			r.mu.Unlock()
+			return &Future{c}
+		}
+	}
+	c := &cell{done: make(chan struct{})}
+	if r.cache != nil && !key.Volatile {
+		r.cache[key] = c
+	}
+	r.executed++
+	r.queue = append(r.queue, &job{c: c, run: run})
+	if r.active < r.workers {
+		r.active++
+		go r.drain()
+	}
+	r.mu.Unlock()
+	return &Future{c}
+}
+
+// drain is one worker: it pops queued cells FIFO until none remain.
+func (r *Runner) drain() {
+	for {
+		r.mu.Lock()
+		if len(r.queue) == 0 {
+			r.active--
+			r.mu.Unlock()
+			return
+		}
+		j := r.queue[0]
+		r.queue = r.queue[1:]
+		canceled, firstErr := r.canceled, r.firstErr
+		r.mu.Unlock()
+		if canceled {
+			j.c.err = fmt.Errorf("simrun: canceled after earlier failure: %w", firstErr)
+			close(j.c.done)
+			continue
+		}
+		j.c.res, j.c.err = j.run()
+		if j.c.err != nil {
+			r.mu.Lock()
+			if !r.canceled {
+				r.canceled, r.firstErr = true, j.c.err
+			}
+			r.mu.Unlock()
+		}
+		close(j.c.done)
+	}
+}

@@ -1,0 +1,136 @@
+package simrun
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/disco-sim/disco/internal/cmp"
+)
+
+// testKey builds a distinct, memoizable key.
+func testKey(i int) Key {
+	return Key{Mode: "disco", Algorithm: "delta", Benchmark: "bodytrack",
+		K: 4, Ops: 100, Warmup: 50, Seed: 1, Config: fmt.Sprintf("cell-%d", i)}
+}
+
+func TestSingleFlightMemoization(t *testing.T) {
+	r := New(4, true)
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	run := func() (cmp.Results, error) {
+		execs.Add(1)
+		<-gate // hold the cell in flight so later submissions must join it
+		return cmp.Results{Cycles: 42}, nil
+	}
+	const n = 10
+	futs := make([]*Future, n)
+	for i := range futs {
+		futs[i] = r.Submit(testKey(7), run)
+	}
+	close(gate)
+	for i, f := range futs {
+		res, err := f.Wait()
+		if err != nil || res.Cycles != 42 {
+			t.Fatalf("future %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	if got := execs.Load(); got != 1 {
+		t.Errorf("executed %d times, want 1 (single-flight)", got)
+	}
+	st := r.Stats()
+	if st.Submitted != n || st.Executed != 1 || st.Hits != n-1 {
+		t.Errorf("stats = %+v, want %d submitted / 1 executed / %d hits", st, n, n-1)
+	}
+}
+
+func TestNoMemoRunsEveryCell(t *testing.T) {
+	r := New(2, false)
+	var execs atomic.Int64
+	run := func() (cmp.Results, error) { execs.Add(1); return cmp.Results{}, nil }
+	for i := 0; i < 5; i++ {
+		if _, err := r.Submit(testKey(1), run).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := execs.Load(); got != 5 {
+		t.Errorf("executed %d times, want 5 with memoization off", got)
+	}
+	if r.Memoized() {
+		t.Error("Memoized() should be false")
+	}
+}
+
+func TestVolatileKeysNeverCached(t *testing.T) {
+	r := New(2, true)
+	var execs atomic.Int64
+	run := func() (cmp.Results, error) { execs.Add(1); return cmp.Results{}, nil }
+	k := testKey(3)
+	k.Volatile = true
+	for i := 0; i < 3; i++ {
+		if _, err := r.Submit(k, run).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := execs.Load(); got != 3 {
+		t.Errorf("executed %d times, want 3 for a volatile key", got)
+	}
+}
+
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	r := New(workers, false)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	run := func() (cmp.Results, error) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		cur.Add(-1)
+		return cmp.Results{}, nil
+	}
+	futs := make([]*Future, 16)
+	for i := range futs {
+		futs[i] = r.Submit(testKey(i), run)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestFirstErrorCancelsQueuedCells(t *testing.T) {
+	r := New(1, true) // one worker serializes execution order
+	boom := errors.New("deadlock")
+	first := r.Submit(testKey(0), func() (cmp.Results, error) { return cmp.Results{}, boom })
+	second := r.Submit(testKey(1), func() (cmp.Results, error) {
+		t.Error("canceled cell must not simulate")
+		return cmp.Results{}, nil
+	})
+	if _, err := first.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("first cell error = %v, want %v", err, boom)
+	}
+	if _, err := second.Wait(); !errors.Is(err, boom) {
+		t.Errorf("canceled cell error = %v, want wrapped %v", err, boom)
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	if w := New(0, true).Workers(); w < 1 {
+		t.Errorf("default workers = %d, want >= 1", w)
+	}
+	if w := New(7, true).Workers(); w != 7 {
+		t.Errorf("explicit workers = %d, want 7", w)
+	}
+}

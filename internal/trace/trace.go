@@ -109,6 +109,17 @@ func splitmix64(x uint64) uint64 {
 // The pattern class is chosen by hashing the address against the profile's
 // mix, so a benchmark's blocks are a stable population.
 func (p *Profile) Content(addr uint64) []byte {
+	return p.AppendContent(nil, addr)
+}
+
+// blockZero seeds AppendContent's 64 block bytes in one append.
+var blockZero [compress.BlockSize]byte
+
+// AppendContent appends the block's 64 bytes to dst and returns the
+// extended slice. Hot paths pass a reused scratch buffer (dst[:0]) to
+// materialize blocks without a per-call allocation; the bytes produced
+// are identical to Content's.
+func (p *Profile) AppendContent(dst []byte, addr uint64) []byte {
 	h := splitmix64(addr ^ uint64(p.Seed)*0x9E3779B97F4A7C15)
 	total := p.Mix.Zero + p.Mix.Repeat + p.Mix.Narrow + p.Mix.Pointer +
 		p.Mix.Float + p.Mix.Text + p.Mix.Random
@@ -117,7 +128,8 @@ func (p *Profile) Content(addr uint64) []byte {
 	}
 	pick := float64(h%1000000) / 1000000 * total
 	rng := rand.New(rand.NewSource(int64(splitmix64(h))))
-	b := make([]byte, compress.BlockSize)
+	dst = append(dst, blockZero[:]...)
+	b := dst[len(dst)-compress.BlockSize:]
 	switch {
 	case pick < p.Mix.Zero:
 		// all zeros
@@ -164,7 +176,7 @@ func (p *Profile) Content(addr uint64) []byte {
 	default:
 		_, _ = rng.Read(b) // documented to never fail
 	}
-	return b
+	return dst
 }
 
 // pool returns element k of the profile's deterministic value pool for a
