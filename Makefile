@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet fmt test race fuzz-smoke bench-snapshot bench-compare ci
+.PHONY: all build lint vet fmt test race fuzz-smoke chaos-smoke bench-snapshot bench-compare ci
 
 all: build lint test
 
@@ -28,6 +28,21 @@ race:
 # Short native-fuzzing pass over the compressor decoders.
 fuzz-smoke:
 	$(GO) test -run TestNone -fuzz=Fuzz -fuzztime=10s ./internal/compress
+
+# Fault-injection smoke: each fault class alone and all of them combined,
+# at two seeds each, on a short full-system DISCO run. Every cell must
+# complete (the resilience machinery absorbs the faults); a panic or a
+# stall fails the target.
+chaos-smoke:
+	@for spec in "engine=0.05,stuck=16" "payload=0.02" "credit=0.01" \
+		"engine=0.05,stuck=16,payload=0.02,credit=0.01"; do \
+		for seed in 1 2; do \
+			echo "== chaos-smoke: $$spec seed=$$seed =="; \
+			$(GO) run ./cmd/discosim -run disco -benchmark swaptions \
+				-ops 1500 -warmup 500 \
+				-fault-spec "$$spec" -fault-seed $$seed || exit 1; \
+		done; \
+	done
 
 # One pass over every benchmark (sanity, not timing-stable) into
 # bench/full.txt, then a timing-stable best-of-5 run of the hot-path
@@ -57,4 +72,4 @@ bench-compare:
 	$(GO) run ./cmd/benchcmp -baseline bench/bench.txt -new bench/new.txt \
 		-gate '^BenchmarkCompress|^BenchmarkDecompress|^BenchmarkNoCStep' -max-regress 10
 
-ci: build lint race fuzz-smoke
+ci: build lint race fuzz-smoke chaos-smoke

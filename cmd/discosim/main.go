@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/compress"
 	"github.com/disco-sim/disco/internal/experiments"
+	"github.com/disco-sim/disco/internal/fault"
 	"github.com/disco-sim/disco/internal/metrics"
 	"github.com/disco-sim/disco/internal/noc"
 	"github.com/disco-sim/disco/internal/simrun"
@@ -43,6 +45,8 @@ func main() {
 		metricsOut   = flag.String("metrics", "", "with -run: write the metrics-registry JSON export to this file")
 		metricsEvery = flag.Uint64("metrics-every", 0, "time-series sampling interval in cycles (0 = default)")
 		traceBin     = flag.String("trace-bin", "", "with -run: write a binary event trace (analyze with discotrace)")
+		faultSpec    = flag.String("fault-spec", "", `with -run: arm fault injection, e.g. "engine=0.01,stuck=32,payload=0.001,credit=0.001" (see internal/fault)`)
+		faultSeed    = flag.Int64("fault-seed", 1, "with -run: fault-injection PRNG seed")
 
 		jobs    = flag.Int("j", 0, "parallel simulation workers (0 = all cores); results are byte-identical at any setting")
 		noCache = flag.Bool("no-cache", false, "disable the cross-figure run memo cache")
@@ -50,7 +54,8 @@ func main() {
 	flag.Parse()
 
 	if *runMode != "" {
-		obs := observeOpts{metricsOut: *metricsOut, metricsEvery: *metricsEvery, traceBin: *traceBin}
+		obs := observeOpts{metricsOut: *metricsOut, metricsEvery: *metricsEvery, traceBin: *traceBin,
+			faultSpec: *faultSpec, faultSeed: *faultSeed}
 		if err := singleRun(*runMode, *bench, *alg, *k, *ops, *warmup, *seed, obs); err != nil {
 			fmt.Fprintln(os.Stderr, "discosim:", err)
 			os.Exit(1)
@@ -248,6 +253,8 @@ type observeOpts struct {
 	metricsOut   string
 	metricsEvery uint64
 	traceBin     string
+	faultSpec    string
+	faultSeed    int64
 }
 
 // singleRun executes one raw simulation and prints its result line.
@@ -288,6 +295,14 @@ func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, obs obse
 	if warmup > 0 {
 		cfg.WarmupOps = warmup
 	}
+	if obs.faultSpec != "" {
+		spec, err := fault.ParseSpec(obs.faultSpec)
+		if err != nil {
+			return err
+		}
+		spec.Seed = obs.faultSeed
+		cfg.Fault = &spec
+	}
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		return err
@@ -314,6 +329,12 @@ func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, obs obse
 		}
 	}
 	if err != nil {
+		// A stall carries a structured snapshot of everything in flight —
+		// print it rather than just the headline.
+		var se *cmp.StallError
+		if errors.As(err, &se) && se.Snapshot != nil {
+			fmt.Fprintln(os.Stderr, se.Snapshot.String())
+		}
 		return err
 	}
 	if reg != nil {

@@ -99,3 +99,17 @@ func TestSingleRunObservabilityArtifacts(t *testing.T) {
 		t.Error("binary trace contains no records")
 	}
 }
+
+func TestSingleRunFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system runs")
+	}
+	obs := observeOpts{faultSpec: "engine=0.05,stuck=16,payload=0.01,credit=0.005", faultSeed: 7}
+	if err := singleRun("disco", "swaptions", "delta", 4, 400, 200, 1, obs); err != nil {
+		t.Errorf("chaos run: %v", err)
+	}
+	bad := observeOpts{faultSpec: "engine=2.0", faultSeed: 1}
+	if err := singleRun("disco", "swaptions", "delta", 4, 100, 50, 1, bad); err == nil {
+		t.Error("out-of-range fault rate should fail")
+	}
+}

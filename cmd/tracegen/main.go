@@ -38,6 +38,9 @@ func run(bench string, ops, cores int, seed int64, out string) error {
 	}
 	for core := 0; core < cores; core++ {
 		g := trace.NewGenerator(&prof, core, seed)
+		if err := g.Err(); err != nil {
+			return err
+		}
 		accs := trace.Record(g, ops)
 		path := fmt.Sprintf("%s.core%02d.trace", out, core)
 		f, err := os.Create(path)

@@ -23,6 +23,9 @@ func main() {
 	files = make([]bytes.Buffer, 16)
 	for core := 0; core < 16; core++ {
 		g := trace.NewGenerator(&prof, core, 7)
+		if err := g.Err(); err != nil {
+			log.Fatal(err)
+		}
 		if err := trace.WriteTrace(&files[core], trace.Record(g, 3000)); err != nil {
 			log.Fatal(err)
 		}

@@ -26,8 +26,18 @@ func TestCohStateHelpers(t *testing.T) {
 	}
 }
 
+// mustL1 builds an L1, failing the test on a geometry error.
+func mustL1(t *testing.T, sets, ways int) *L1 {
+	t.Helper()
+	c, err := NewL1(sets, ways)
+	if err != nil {
+		t.Fatalf("NewL1(%d, %d): %v", sets, ways, err)
+	}
+	return c
+}
+
 func TestL1BasicHitMiss(t *testing.T) {
-	c := NewL1(4, 2)
+	c := mustL1(t, 4, 2)
 	if c.Access(0x100, false) {
 		t.Error("cold access should miss")
 	}
@@ -48,7 +58,7 @@ func TestL1BasicHitMiss(t *testing.T) {
 }
 
 func TestL1LRUEviction(t *testing.T) {
-	c := NewL1(1, 2) // one set, 2 ways
+	c := mustL1(t, 1, 2) // one set, 2 ways
 	c.Insert(1, Shared)
 	c.Insert(2, Shared)
 	c.Access(1, false) // make 2 the LRU
@@ -62,7 +72,7 @@ func TestL1LRUEviction(t *testing.T) {
 }
 
 func TestL1InsertExistingUpdatesState(t *testing.T) {
-	c := NewL1(2, 2)
+	c := mustL1(t, 2, 2)
 	c.Insert(4, Shared)
 	_, ev := c.Insert(4, Modified)
 	if ev {
@@ -77,7 +87,7 @@ func TestL1InsertExistingUpdatesState(t *testing.T) {
 }
 
 func TestL1InvalidateAndSetStatePanic(t *testing.T) {
-	c := NewL1(2, 2)
+	c := mustL1(t, 2, 2)
 	c.Insert(7, Owned)
 	if st := c.Invalidate(7); st != Owned {
 		t.Errorf("Invalidate returned %v, want O", st)
@@ -93,17 +103,16 @@ func TestL1InvalidateAndSetStatePanic(t *testing.T) {
 	c.SetState(7, Shared)
 }
 
-func TestL1BadGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+func TestL1BadGeometryErrors(t *testing.T) {
+	for _, g := range [][2]int{{3, 2}, {0, 2}, {-4, 2}, {4, 0}, {4, -1}} {
+		if _, err := NewL1(g[0], g[1]); err == nil {
+			t.Errorf("NewL1(%d, %d) should report a geometry error", g[0], g[1])
 		}
-	}()
-	NewL1(3, 2) // non power of two
+	}
 }
 
 func TestL1SetConflictsOnly(t *testing.T) {
-	c := NewL1(4, 1)
+	c := mustL1(t, 4, 1)
 	c.Insert(0, Shared)
 	c.Insert(1, Shared) // different set, no conflict
 	if c.Occupancy() != 2 {
@@ -387,7 +396,7 @@ func TestBankInvariantsProperty(t *testing.T) {
 }
 
 func TestForEachIteration(t *testing.T) {
-	c := NewL1(4, 2)
+	c := mustL1(t, 4, 2)
 	c.Insert(1, Shared)
 	c.Insert(9, Modified)
 	seen := map[Addr]CohState{}

@@ -20,16 +20,18 @@ type L1 struct {
 	Misses uint64
 }
 
-// NewL1 builds an L1 with the given geometry. sets must be a power of two.
-func NewL1(sets, ways int) *L1 {
+// NewL1 builds an L1 with the given geometry. sets must be a power of two;
+// bad geometry is a configuration error reported before the run starts,
+// not a panic.
+func NewL1(sets, ways int) (*L1, error) {
 	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cache: bad L1 geometry %dx%d", sets, ways))
+		return nil, fmt.Errorf("cache: bad L1 geometry %dx%d (sets must be a positive power of two, ways positive)", sets, ways)
 	}
 	c := &L1{sets: sets, ways: ways, lines: make([][]l1Line, sets)}
 	for i := range c.lines {
 		c.lines[i] = make([]l1Line, ways)
 	}
-	return c
+	return c, nil
 }
 
 // set returns the set index for addr.

@@ -18,6 +18,7 @@ import (
 
 	"github.com/disco-sim/disco/internal/compress"
 	"github.com/disco-sim/disco/internal/disco"
+	"github.com/disco-sim/disco/internal/fault"
 	"github.com/disco-sim/disco/internal/noc"
 	"github.com/disco-sim/disco/internal/trace"
 )
@@ -117,6 +118,16 @@ type Config struct {
 	// Disco optionally overrides the DISCO policy configuration; nil uses
 	// disco.DefaultConfig(Algorithm). Only consulted in DISCO mode.
 	Disco *disco.Config
+
+	// Fault arms deterministic NoC fault injection (see internal/fault).
+	// Nil or all-zero rates leave the run byte-identical to a fault-free
+	// build.
+	Fault *fault.Spec
+	// StallWindow is the progress watchdog's no-forward-progress window in
+	// cycles: if neither core retirement nor network activity advances for
+	// this long the run aborts with a *StallError carrying a diagnostic
+	// snapshot. 0 uses DefaultStallWindow.
+	StallWindow uint64
 }
 
 // DefaultConfig returns the Table 2 platform running the given profile.
@@ -161,6 +172,18 @@ func (c *Config) Validate() error {
 	}
 	if c.OpsPerCore <= 0 || c.MaxCycles == 0 || c.MSHRs <= 0 {
 		return fmt.Errorf("cmp: non-positive run limits")
+	}
+	if c.L1Sets <= 0 || c.L1Sets&(c.L1Sets-1) != 0 || c.L1Ways <= 0 {
+		return fmt.Errorf("cmp: bad L1 geometry %dx%d (sets must be a positive power of two, ways positive)",
+			c.L1Sets, c.L1Ways)
+	}
+	if c.BankSets <= 0 || c.BankWays <= 0 {
+		return fmt.Errorf("cmp: bad bank geometry %dx%d", c.BankSets, c.BankWays)
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := c.Profile.Validate(); err != nil {
 		return err

@@ -107,7 +107,8 @@ func New(cfg Config) (*System, error) {
 		contentCache: make(map[cache.Addr][]byte),
 		missHist:     stats.NewHistogram(1000, 10),
 	}
-	ncfg := noc.Config{K: cfg.K, VCs: cfg.VCs, BufDepth: cfg.BufDepth, FlowControl: cfg.FlowControl}
+	ncfg := noc.Config{K: cfg.K, VCs: cfg.VCs, BufDepth: cfg.BufDepth, FlowControl: cfg.FlowControl,
+		Fault: cfg.Fault}
 	if cfg.Mode == DISCO {
 		dc := cfg.Disco
 		if dc == nil {
@@ -122,6 +123,11 @@ func New(cfg Config) (*System, error) {
 	}
 	s.net = net
 	net.OnEject = s.onEject
+	if net.FaultEnabled() && cfg.Algorithm != nil {
+		// The sink integrity check must decode with the system's live
+		// (possibly trained) compressor instance, not a fresh constructor.
+		net.RegisterDecoder(cfg.Algorithm)
+	}
 
 	tiles := cfg.tiles()
 	s.cores = make([]*coreState, tiles)
@@ -129,7 +135,11 @@ func New(cfg Config) (*System, error) {
 	s.banks = make([]*cache.Bank, tiles)
 	s.txns = make([]map[cache.Addr]*txn, tiles)
 	for i := 0; i < tiles; i++ {
-		s.l1s[i] = cache.NewL1(cfg.L1Sets, cfg.L1Ways)
+		l1, err := cache.NewL1(cfg.L1Sets, cfg.L1Ways)
+		if err != nil {
+			return nil, err
+		}
+		s.l1s[i] = l1
 		s.banks[i] = cache.NewBank(cache.BankConfig{
 			Sets: cfg.BankSets, Ways: cfg.BankWays,
 			TagFactor: cfg.tagFactor(), SegmentBytes: 8, Interleave: tiles,
@@ -418,19 +428,6 @@ func (s *System) finished() bool {
 	return true
 }
 
-// Run executes the simulation and returns its results. It returns an
-// error if MaxCycles elapse first (deadlock or starvation).
-func (s *System) Run() (Results, error) {
-	for !s.finished() {
-		if s.now >= s.cfg.MaxCycles {
-			return Results{}, fmt.Errorf("cmp: %v/%s did not finish within %d cycles",
-				s.cfg.Mode, s.cfg.Profile.Name, s.cfg.MaxCycles)
-		}
-		s.Step()
-	}
-	return s.results(), nil
-}
-
 // results snapshots all statistics.
 func (s *System) results() Results {
 	ns := s.net.Stats()
@@ -466,6 +463,7 @@ func (s *System) results() Results {
 	}
 	model := energy.NewModel(s.cfg.algName())
 	return Results{
+		Fault:          s.net.FaultStats(),
 		Mode:           s.cfg.Mode,
 		Benchmark:      s.cfg.Profile.Name,
 		Algorithm:      s.cfg.algName(),
@@ -513,6 +511,10 @@ type Results struct {
 	DramAccesses     uint64
 
 	Net noc.Stats
+	// Fault reports the fault-injection and recovery counters; nil (and
+	// omitted from JSON) unless an injector was armed, so fault-free
+	// artifacts stay byte-identical.
+	Fault *noc.FaultStats `json:",omitempty"`
 	// ResidualOps counts DISCO conversions that were NOT hidden in the
 	// network (paid at ejection).
 	ResidualOps    uint64
@@ -531,6 +533,10 @@ func (r Results) Detailed() string {
 	if r.Net.FlitHops > 0 {
 		respShare = float64(r.Net.FlitHopsByClass[noc.ClassResponse]) / float64(r.Net.FlitHops)
 	}
+	faultLine := ""
+	if r.Fault != nil {
+		faultLine = fmt.Sprintf("\n  fault %s", r.Fault)
+	}
 	return fmt.Sprintf(
 		"mode=%s bench=%s alg=%s\n"+
 			"  cycles           %d\n"+
@@ -539,7 +545,7 @@ func (r Results) Detailed() string {
 			"  L2   %d hits / %d misses; DRAM %d accesses\n"+
 			"  NoC  %d packets, %d flit-hops (%.0f%% response), queueing %.1f cyc/pkt\n"+
 			"  NoC  delay breakdown queue %.1f + serialization %.1f + engine %.1f cyc/pkt; overlap %.0f%% (%d of %d engine cycles hidden)\n"+
-			"  comp endpoint %d+%d, in-network %d+%d, residual %d\n"+
+			"  comp endpoint %d+%d, in-network %d+%d, residual %d%s\n"+
 			"  energy %s",
 		r.Mode, r.Benchmark, r.Algorithm,
 		r.Cycles,
@@ -549,7 +555,7 @@ func (r Results) Detailed() string {
 		r.Net.Ejected, r.Net.FlitHops, respShare*100, r.Net.QueueCycles.Mean(),
 		r.Net.QueueDelay.Mean(), r.Net.SerialDelay.Mean(), r.Net.EngineDelay.Mean(),
 		100*r.Net.OverlapRatio(), r.Net.PktEngineCycles-r.Net.PktEngineExposed, r.Net.PktEngineCycles,
-		r.EndpointComp, r.EndpointDecomp, r.Net.Compressions, r.Net.Decompressions, r.ResidualOps,
+		r.EndpointComp, r.EndpointDecomp, r.Net.Compressions, r.Net.Decompressions, r.ResidualOps, faultLine,
 		r.Energy)
 }
 

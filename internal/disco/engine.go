@@ -2,6 +2,7 @@ package disco
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"github.com/disco-sim/disco/internal/compress"
 )
@@ -42,12 +43,34 @@ const (
 	JobAborted
 )
 
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobCommitted:
+		return "committed"
+	case JobDone:
+		return "done"
+	case JobAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
 // Job is one de/compression operation on one packet. PacketID ties it back
 // to the router's packet; the engine never dereferences router state.
 type Job struct {
 	Kind     JobKind
 	PacketID uint64
 	State    JobState
+
+	// Faulted marks a job hit by an injected transient engine fault: it
+	// stays busy (and pending, so the shadow remains releasable) for the
+	// engine's stuck window, then aborts. The router distinguishes these
+	// aborts from content failures — a faulted packet is NOT latched
+	// incompressible, and they feed the per-router circuit breaker.
+	Faulted bool
 
 	startCycle uint64
 	latency    int
@@ -77,11 +100,19 @@ type Engine struct {
 	// algorithm is the paper's delta scheme.
 	strictIncremental bool
 
+	// faultFn, when non-nil, is consulted at job start: true marks the
+	// job Faulted (see Job.Faulted). stuckCycles is the busy window a
+	// faulted job holds the engine before aborting. The oracle is a plain
+	// closure so the engine stays decoupled from the fault package.
+	faultFn     func() bool
+	stuckCycles int
+
 	// Stats.
 	Compressions   uint64
 	Decompressions uint64
 	Aborts         uint64
 	Failures       uint64 // incompressible content discovered mid-job
+	Faults         uint64 // injected transient faults (stuck-busy aborts)
 	BusyCycles     uint64
 }
 
@@ -96,6 +127,17 @@ func NewEngine(alg compress.Algorithm) *Engine {
 
 // Algorithm returns the engine's compressor.
 func (e *Engine) Algorithm() compress.Algorithm { return e.alg }
+
+// SetFaultOracle arms fault injection: f is consulted once per started
+// job, and a faulted job stays stuck-busy for stuck cycles before
+// aborting. Pass nil to disarm.
+func (e *Engine) SetFaultOracle(f func() bool, stuck int) {
+	e.faultFn = f
+	if stuck < 1 {
+		stuck = 1
+	}
+	e.stuckCycles = stuck
+}
 
 // Busy reports whether a job is in flight.
 func (e *Engine) Busy() bool { return e.cur != nil }
@@ -121,6 +163,9 @@ func (e *Engine) StartCompress(pktID uint64, resident []uint64, totalFlits int, 
 	if e.strictIncremental {
 		j.inc = compress.NewIncrementalDelta()
 	}
+	if e.faultFn != nil && e.faultFn() {
+		j.Faulted = true
+	}
 	e.cur = j
 	e.absorb(resident)
 	return j
@@ -138,6 +183,9 @@ func (e *Engine) StartDecompress(pktID uint64, src compress.Compressed, now uint
 		latency:    e.alg.DecompLatency(),
 		src:        src,
 	}
+	if e.faultFn != nil && e.faultFn() {
+		j.Faulted = true
+	}
 	e.cur = j
 	return j
 }
@@ -154,7 +202,10 @@ func (e *Engine) Absorb(flits []uint64) {
 // absorb feeds flits into whichever incremental backend the job uses.
 func (e *Engine) absorb(flits []uint64) {
 	j := e.cur
-	if j.State == JobAborted {
+	if j.State == JobAborted || j.Faulted {
+		// A faulted job will abort after its stuck window regardless of
+		// content; don't let the content path abort it first (that would
+		// mask the fault and skip the stuck-busy cost).
 		return
 	}
 	j.absorbed += len(flits)
@@ -184,6 +235,18 @@ func (e *Engine) Tick(now uint64) *Job {
 		return nil
 	}
 	e.BusyCycles++
+	if j.Faulted {
+		// Injected transient fault: the engine is stuck busy for the
+		// configured window, the job stays pending (shadow releasable the
+		// whole time), then it aborts.
+		if now >= j.startCycle+uint64(e.stuckCycles) {
+			j.State = JobAborted
+			e.Faults++
+			e.cur = nil
+			return j
+		}
+		return nil
+	}
 	if j.State == JobAborted {
 		e.cur = nil
 		return j
@@ -286,9 +349,20 @@ func (e *Engine) CanRelease(pktID uint64) bool {
 
 // Release aborts the in-flight job for pktID (shadow released to SA). The
 // caller must have checked CanRelease; Release on a committed job panics.
+//
+// A Faulted job is the exception: the packet's shadow is released as
+// usual (the packet escapes — that is the graceful-degradation path),
+// but the fault wedged the hardware, not the packet, so the engine stays
+// stuck-busy for the remainder of its fault window. Tick still reports
+// the faulted job once the window elapses, so the router's fault
+// accounting and circuit breaker see every injected fault even when the
+// victim packet left early.
 func (e *Engine) Release(pktID uint64) {
 	if !e.CanRelease(pktID) {
 		panic("disco: Release on non-releasable job")
+	}
+	if e.cur.Faulted {
+		return
 	}
 	e.cur = nil
 	e.Aborts++

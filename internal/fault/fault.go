@@ -1,0 +1,315 @@
+// Package fault is the simulator's deterministic fault-injection layer.
+//
+// A Spec describes which fault classes are armed and how aggressively;
+// an Injector draws from per-class seeded PRNG streams so that enabling
+// or tuning one class never perturbs the draw sequence of another, and
+// the same (workload seed, fault seed) pair always yields the same fault
+// schedule. The three classes mirror the failure modes an in-network
+// compression fabric is exposed to:
+//
+//   - engine: a DISCO de/compression engine suffers a transient fault —
+//     it goes stuck-busy for EngineStuck cycles and then aborts its job
+//     (the router recovers via the shadow packet and, after BreakerK
+//     consecutive faults, bypasses the engine through a circuit breaker);
+//   - payload: a bit-flip corrupts a compressed payload on a link (the
+//     decoder's ErrCorrupt / a content mismatch triggers shadow recovery,
+//     so the uncompressed original is still delivered);
+//   - credit: a flow-control credit is lost on a link and restored only
+//     after CreditRecovery cycles (transient backpressure; a permanent
+//     loss wedges the fabric, which the cmp watchdog diagnoses).
+//
+// Zero overhead when disabled: a nil *Spec (or one with all rates zero)
+// never constructs an Injector, and every hook in internal/noc gates on
+// a nil check before touching fault state.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Defaults used by ParseSpec and NewInjector for unset knobs.
+const (
+	// DefaultEngineStuck is the stuck-busy window of a faulted engine.
+	DefaultEngineStuck = 32
+	// DefaultBreakerK is the consecutive-fault count that trips a
+	// router's engine circuit breaker.
+	DefaultBreakerK = 4
+	// DefaultBreakerCooldown is how long (cycles) a tripped breaker
+	// keeps the engine bypassed before re-arming.
+	DefaultBreakerCooldown = 2048
+	// DefaultCreditRecovery is how long (cycles) a lost credit stays
+	// lost before the link-level recovery restores it.
+	DefaultCreditRecovery = 512
+)
+
+// Spec describes one fault-injection campaign. The zero value (all rates
+// zero) is a valid "armed but silent" spec: Enabled reports false and no
+// injector is built, which is what the zero-overhead-off determinism
+// gate exercises.
+type Spec struct {
+	// Seed drives the injector's PRNG streams, independently of the
+	// workload seed so fault schedules can be varied in isolation.
+	Seed int64
+
+	// EngineRate is the per-job probability that a DISCO engine suffers
+	// a transient fault (stuck-busy then abort).
+	EngineRate float64
+	// EngineStuck is the stuck-busy duration in cycles (0 = default).
+	EngineStuck int
+	// BreakerK trips a router's engine breaker after this many
+	// consecutive engine faults (0 = default; negative disables).
+	BreakerK int
+	// BreakerCooldown is the breaker's open window in cycles (0 = default).
+	BreakerCooldown uint64
+
+	// PayloadRate is the per-link-traversal probability that a
+	// compressed packet's payload takes a bit-flip.
+	PayloadRate float64
+
+	// CreditRate is the per-link-traversal probability that one credit
+	// of the destination VC is lost.
+	CreditRate float64
+	// CreditRecovery is the cycles until a lost credit is restored
+	// (0 = default).
+	CreditRecovery uint64
+}
+
+// Enabled reports whether any fault class can fire.
+func (s *Spec) Enabled() bool {
+	return s != nil && (s.EngineRate > 0 || s.PayloadRate > 0 || s.CreditRate > 0)
+}
+
+// Validate reports spec errors.
+func (s *Spec) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"engine", s.EngineRate}, {"payload", s.PayloadRate}, {"credit", s.CreditRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s rate %g out of [0,1]", r.name, r.v)
+		}
+	}
+	if s.EngineStuck < 0 {
+		return fmt.Errorf("fault: negative engine stuck window %d", s.EngineStuck)
+	}
+	return nil
+}
+
+// String renders the spec in ParseSpec syntax (only armed classes).
+func (s *Spec) String() string {
+	var parts []string
+	add := func(k string, v string) { parts = append(parts, k+"="+v) }
+	if s.EngineRate > 0 {
+		add("engine", strconv.FormatFloat(s.EngineRate, 'g', -1, 64))
+		add("stuck", strconv.Itoa(s.orStuck()))
+		add("k", strconv.Itoa(s.orBreakerK()))
+		add("cooldown", strconv.FormatUint(s.orCooldown(), 10))
+	}
+	if s.PayloadRate > 0 {
+		add("payload", strconv.FormatFloat(s.PayloadRate, 'g', -1, 64))
+	}
+	if s.CreditRate > 0 {
+		add("credit", strconv.FormatFloat(s.CreditRate, 'g', -1, 64))
+		add("recover", strconv.FormatUint(s.orRecovery(), 10))
+	}
+	if len(parts) == 0 {
+		return "off"
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *Spec) orStuck() int {
+	if s.EngineStuck > 0 {
+		return s.EngineStuck
+	}
+	return DefaultEngineStuck
+}
+
+func (s *Spec) orBreakerK() int {
+	if s.BreakerK != 0 {
+		return s.BreakerK
+	}
+	return DefaultBreakerK
+}
+
+func (s *Spec) orCooldown() uint64 {
+	if s.BreakerCooldown > 0 {
+		return s.BreakerCooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+func (s *Spec) orRecovery() uint64 {
+	if s.CreditRecovery > 0 {
+		return s.CreditRecovery
+	}
+	return DefaultCreditRecovery
+}
+
+// ParseSpec parses a comma-separated key=value fault spec, e.g.
+//
+//	engine=0.02,stuck=32,k=4,cooldown=2048,payload=0.001,credit=0.005,recover=512
+//
+// Keys: engine/payload/credit (rates in [0,1]), stuck (cycles), k
+// (breaker threshold), cooldown (cycles), recover (cycles). Unset knobs
+// take the package defaults at injection time. The empty string is a
+// valid, disabled spec.
+func ParseSpec(text string) (Spec, error) {
+	var s Spec
+	if strings.TrimSpace(text) == "" {
+		return s, nil
+	}
+	for _, field := range strings.Split(text, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("fault: bad spec field %q (want key=value)", field)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch k {
+		case "engine", "payload", "credit":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad %s rate %q: %v", k, v, err)
+			}
+			switch k {
+			case "engine":
+				s.EngineRate = f
+			case "payload":
+				s.PayloadRate = f
+			case "credit":
+				s.CreditRate = f
+			}
+		case "stuck", "k":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad %s value %q: %v", k, v, err)
+			}
+			if k == "stuck" {
+				s.EngineStuck = n
+			} else {
+				s.BreakerK = n
+			}
+		case "cooldown", "recover":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad %s value %q: %v", k, v, err)
+			}
+			if k == "cooldown" {
+				s.BreakerCooldown = n
+			} else {
+				s.CreditRecovery = n
+			}
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad seed %q: %v", v, err)
+			}
+			s.Seed = n
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown spec key %q", k)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// splitmix64 decorrelates the per-class stream seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Injector draws fault decisions from per-class PRNG streams. Each class
+// owns its stream, so arming or tuning one class leaves the others'
+// schedules untouched; a class with rate zero never draws at all.
+type Injector struct {
+	spec    Spec
+	engine  *rand.Rand
+	payload *rand.Rand
+	credit  *rand.Rand
+}
+
+// NewInjector builds an injector for spec (defaults resolved). The
+// caller should only construct one when spec.Enabled() — a silent
+// injector costs a draw per hook even though it never fires.
+func NewInjector(spec Spec) *Injector {
+	spec.EngineStuck = spec.orStuck()
+	spec.BreakerK = spec.orBreakerK()
+	spec.BreakerCooldown = spec.orCooldown()
+	spec.CreditRecovery = spec.orRecovery()
+	stream := func(class uint64) *rand.Rand {
+		return rand.New(rand.NewSource(int64(splitmix64(uint64(spec.Seed) ^ class*0x9E3779B97F4A7C15))))
+	}
+	return &Injector{
+		spec:    spec,
+		engine:  stream(1),
+		payload: stream(2),
+		credit:  stream(3),
+	}
+}
+
+// Spec returns the injector's resolved spec (defaults filled in).
+func (i *Injector) Spec() Spec { return i.spec }
+
+// EngineFault decides whether the engine job being started faults.
+func (i *Injector) EngineFault() bool {
+	if i.spec.EngineRate <= 0 {
+		return false
+	}
+	return i.engine.Float64() < i.spec.EngineRate
+}
+
+// PayloadFlip decides whether a compressed payload entering a link takes
+// a bit-flip.
+func (i *Injector) PayloadFlip() bool {
+	if i.spec.PayloadRate <= 0 {
+		return false
+	}
+	return i.payload.Float64() < i.spec.PayloadRate
+}
+
+// BitIndex picks the bit (within nbits) a payload flip lands on; it
+// draws from the payload stream so flip positions ride the same
+// deterministic schedule as flip decisions.
+func (i *Injector) BitIndex(nbits int) int {
+	if nbits <= 0 {
+		return 0
+	}
+	return i.payload.Intn(nbits)
+}
+
+// CreditLoss decides whether a link traversal loses a credit.
+func (i *Injector) CreditLoss() bool {
+	if i.spec.CreditRate <= 0 {
+		return false
+	}
+	return i.credit.Float64() < i.spec.CreditRate
+}
+
+// FlipBit returns a copy of payload with the given bit inverted. It
+// never mutates payload in place: compressed encodings are shared
+// between packets and the endpoint compression caches, so corruption
+// must be copy-on-write.
+func FlipBit(payload []byte, bit int) []byte {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	if len(out) > 0 {
+		bit %= len(out) * 8
+		if bit < 0 {
+			bit += len(out) * 8
+		}
+		out[bit/8] ^= 1 << uint(bit%8)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	s, err := ParseSpec("engine=0.02,stuck=40,k=3,cooldown=1000,payload=0.001,credit=0.005,recover=256,seed=9")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.EngineRate != 0.02 || s.EngineStuck != 40 || s.BreakerK != 3 ||
+		s.BreakerCooldown != 1000 || s.PayloadRate != 0.001 ||
+		s.CreditRate != 0.005 || s.CreditRecovery != 256 || s.Seed != 9 {
+		t.Errorf("parsed spec wrong: %+v", s)
+	}
+	if !s.Enabled() {
+		t.Error("spec with nonzero rates should be enabled")
+	}
+	re, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s.String(), err)
+	}
+	re.Seed = s.Seed // String omits the seed (a flag, not a class knob)
+	if re != s {
+		t.Errorf("String/ParseSpec not a fixed point:\n  %+v\n  %+v", s, re)
+	}
+}
+
+func TestParseSpecEmptyAndErrors(t *testing.T) {
+	s, err := ParseSpec("")
+	if err != nil || s.Enabled() {
+		t.Errorf("empty spec should parse as disabled, got %+v, %v", s, err)
+	}
+	for _, bad := range []string{
+		"engine", "engine=2.0", "engine=-1", "warp=0.1", "stuck=x", "cooldown=-4",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpecNilEnabled(t *testing.T) {
+	var s *Spec
+	if s.Enabled() {
+		t.Error("nil spec enabled")
+	}
+	if !(&Spec{PayloadRate: 0.5}).Enabled() {
+		t.Error("payload-only spec should be enabled")
+	}
+	if (&Spec{Seed: 7}).Enabled() {
+		t.Error("all-zero-rate spec should be disabled")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	spec := Spec{Seed: 5, EngineRate: 0.3, PayloadRate: 0.2, CreditRate: 0.1}
+	draw := func() (out []bool) {
+		in := NewInjector(spec)
+		for n := 0; n < 200; n++ {
+			out = append(out, in.EngineFault(), in.PayloadFlip(), in.CreditLoss())
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed injectors diverge at draw %d", i)
+		}
+	}
+	fired := false
+	for _, v := range a {
+		fired = fired || v
+	}
+	if !fired {
+		t.Error("no fault fired in 200 draws at these rates")
+	}
+}
+
+// TestClassStreamsIndependent is the per-class-stream guarantee: arming
+// an extra class must not perturb the schedules of the others.
+func TestClassStreamsIndependent(t *testing.T) {
+	seq := func(spec Spec) (out []bool) {
+		in := NewInjector(spec)
+		for n := 0; n < 100; n++ {
+			out = append(out, in.CreditLoss())
+		}
+		return out
+	}
+	creditOnly := seq(Spec{Seed: 11, CreditRate: 0.2})
+	withOthers := seq(Spec{Seed: 11, CreditRate: 0.2, EngineRate: 0.5, PayloadRate: 0.5})
+	for i := range creditOnly {
+		if creditOnly[i] != withOthers[i] {
+			t.Fatalf("credit schedule changed at draw %d when other classes were armed", i)
+		}
+	}
+}
+
+func TestZeroRateNeverFires(t *testing.T) {
+	in := NewInjector(Spec{Seed: 1, PayloadRate: 1})
+	for n := 0; n < 100; n++ {
+		if in.EngineFault() || in.CreditLoss() {
+			t.Fatal("zero-rate class fired")
+		}
+		if !in.PayloadFlip() {
+			t.Fatal("rate-1 class did not fire")
+		}
+	}
+}
+
+func TestInjectorResolvesDefaults(t *testing.T) {
+	in := NewInjector(Spec{EngineRate: 0.1, CreditRate: 0.1})
+	s := in.Spec()
+	if s.EngineStuck != DefaultEngineStuck || s.BreakerK != DefaultBreakerK ||
+		s.BreakerCooldown != DefaultBreakerCooldown || s.CreditRecovery != DefaultCreditRecovery {
+		t.Errorf("defaults not resolved: %+v", s)
+	}
+}
+
+func TestFlipBitCopyOnWrite(t *testing.T) {
+	orig := []byte{0x00, 0xFF, 0x55}
+	keep := append([]byte(nil), orig...)
+	flipped := FlipBit(orig, 9) // bit 1 of byte 1
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("FlipBit mutated its input")
+	}
+	if bytes.Equal(flipped, orig) {
+		t.Fatal("FlipBit returned an unmodified copy")
+	}
+	if flipped[1] != 0xFF^0x02 {
+		t.Errorf("wrong bit flipped: got %#x", flipped[1])
+	}
+	// Flipping the same bit twice restores the original.
+	if back := FlipBit(flipped, 9); !bytes.Equal(back, orig) {
+		t.Error("double flip did not round-trip")
+	}
+	if out := FlipBit(nil, 3); len(out) != 0 {
+		t.Error("flip of empty payload should be empty")
+	}
+}
+
+func TestBitIndexInRange(t *testing.T) {
+	in := NewInjector(Spec{Seed: 2, PayloadRate: 1})
+	for n := 0; n < 1000; n++ {
+		if b := in.BitIndex(24); b < 0 || b >= 24 {
+			t.Fatalf("bit index %d out of range", b)
+		}
+	}
+	if in.BitIndex(0) != 0 {
+		t.Error("BitIndex(0) should be 0")
+	}
+}

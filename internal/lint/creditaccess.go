@@ -28,6 +28,7 @@ var CreditAccess = &Analyzer{
 var creditFields = map[string]bool{
 	"stored": true, "reserved": true, "arrived": true,
 	"ready": true, "sent": true, "absorbed": true,
+	"lostCredits": true,
 }
 
 func runCreditAccess(pass *Pass) error {

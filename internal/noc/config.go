@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/disco-sim/disco/internal/disco"
+	"github.com/disco-sim/disco/internal/fault"
 )
 
 // Port identifies one router port. Local connects the router to its tile's
@@ -126,6 +127,10 @@ type Config struct {
 	Routing Routing
 	// Disco enables DISCO in-router compression when non-nil.
 	Disco *disco.Config
+	// Fault arms deterministic fault injection when non-nil and at least
+	// one class rate is nonzero (see internal/fault). A nil or silent
+	// spec adds zero overhead and leaves every artifact byte-identical.
+	Fault *fault.Spec
 }
 
 // DefaultConfig returns the Table 2 network: 4×4 mesh, 2 VCs, 8-flit
@@ -145,8 +150,20 @@ func (c *Config) Validate() error {
 	if c.BufDepth < 2 {
 		return fmt.Errorf("noc: buffer depth must be >= 2, got %d", c.BufDepth)
 	}
+	if c.FlowControl != Wormhole && c.BufDepth < maxPacketFlits {
+		// VCT and store-and-forward hold whole packets in one VC; checked
+		// here (not at Inject time) so misconfiguration fails before the
+		// run starts instead of panicking mid-simulation.
+		return fmt.Errorf("noc: %v flow control requires BufDepth >= %d for whole data packets, got %d",
+			c.FlowControl, maxPacketFlits, c.BufDepth)
+	}
 	if c.Disco != nil {
 		if err := c.Disco.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
 			return err
 		}
 	}

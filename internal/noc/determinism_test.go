@@ -15,7 +15,13 @@ import (
 // no other entropy source (enforced by the nodeterminism analyzer).
 func runSeededLoad(t *testing.T, seed int64) (string, Stats) {
 	t.Helper()
-	cfg := discoConfig()
+	return runSeededLoadCfg(t, discoConfig(), seed)
+}
+
+// runSeededLoadCfg is runSeededLoad with an explicit network config, so
+// fault-injection tests can reuse the same deterministic load.
+func runSeededLoadCfg(t *testing.T, cfg Config, seed int64) (string, Stats) {
+	t.Helper()
 	n := mustNet(t, cfg)
 	var sb strings.Builder
 	n.SetTracer(&WriterTracer{W: &sb})
@@ -62,7 +68,12 @@ func TestSameSeedByteIdenticalTrace(t *testing.T) {
 // tracer. It returns all three serialized artifacts.
 func runInstrumentedLoad(t *testing.T, seed int64) (metricsJSON, seriesCSV, binTrace []byte) {
 	t.Helper()
-	cfg := discoConfig()
+	return runInstrumentedLoadCfg(t, discoConfig(), seed)
+}
+
+// runInstrumentedLoadCfg is runInstrumentedLoad with an explicit config.
+func runInstrumentedLoadCfg(t *testing.T, cfg Config, seed int64) (metricsJSON, seriesCSV, binTrace []byte) {
+	t.Helper()
 	n := mustNet(t, cfg)
 	reg := metrics.NewRegistry()
 	n.AttachMetrics(reg, 128)

@@ -15,15 +15,24 @@ func TestFlowControlStrings(t *testing.T) {
 }
 
 func TestSAFRequiresDeepBuffers(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.FlowControl = StoreAndForward
-	n := mustNet(t, cfg)
-	defer func() {
-		if recover() == nil {
-			t.Error("9-flit packet with 8-deep buffers under SAF should panic")
+	// SAF and VCT hold whole packets in one VC, so too-shallow buffers are
+	// a configuration error caught by Validate before the run starts (they
+	// used to panic at Inject time, mid-simulation).
+	for _, fc := range []FlowControl{StoreAndForward, VirtualCutThrough} {
+		cfg := DefaultConfig()
+		cfg.FlowControl = fc
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%v with %d-deep buffers should fail validation (packets are %d flits)",
+				fc, cfg.BufDepth, maxPacketFlits)
 		}
-	}()
-	n.Inject(NewDataPacket(1, 0, 5, compressibleBlock(1), false))
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New should reject %v with shallow buffers", fc)
+		}
+		cfg.BufDepth = maxPacketFlits
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v with %d-deep buffers should validate: %v", fc, cfg.BufDepth, err)
+		}
+	}
 }
 
 func TestSAFSlowerThanWormhole(t *testing.T) {

@@ -50,7 +50,7 @@ func (l *Lifetime) observe(kind string, cycle uint64) {
 		if l.engCommit == 0 {
 			l.engCommit = stamp
 		}
-	case EvEngineDone, EvEngineFail, EvEngineRelease:
+	case EvEngineDone, EvEngineFail, EvEngineRelease, EvEngineFault, EvFaultRecover:
 		if l.engEnd == 0 {
 			l.engEnd = stamp
 		}

@@ -75,6 +75,28 @@ func (n *Network) AttachMetrics(reg *metrics.Registry, interval uint64) {
 			es.CounterFunc("failures", func() uint64 { return r.engine.Failures })
 			es.CounterFunc("busy_cycles", func() uint64 { return r.engine.BusyCycles })
 		}
+		if n.fault != nil {
+			fs := rs.Scope("fault")
+			fs.CounterFunc("engine_faults", func() uint64 { return r.faultEngineFaults })
+			fs.CounterFunc("breaker_trips", func() uint64 { return r.breakerTrips })
+			fs.GaugeFunc("breaker_open", func() float64 {
+				if r.breakerOpen {
+					return 1
+				}
+				return 0
+			})
+			fs.CounterFunc("payload_flips", func() uint64 { return r.faultPayloadFlips })
+			fs.CounterFunc("credit_drops", func() uint64 { return r.faultCreditDrops })
+			fs.CounterFunc("recoveries", func() uint64 { return r.faultRecoveries })
+		}
+	}
+
+	if n.fault != nil {
+		fs := s.Scope("fault")
+		fs.CounterFunc("sink_recoveries", func() uint64 { return n.sinkRecoveries })
+		fs.CounterFunc("credits_lost", func() uint64 { return n.creditsLost })
+		fs.CounterFunc("credits_healed", func() uint64 { return n.creditsHealed })
+		fs.GaugeFunc("credits_outstanding", func() float64 { return float64(len(n.creditRestores)) })
 	}
 
 	// Time-series probes: the network-wide pulse over time.

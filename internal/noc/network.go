@@ -1,8 +1,11 @@
 package noc
 
 import (
+	"bytes"
 	"fmt"
 
+	"github.com/disco-sim/disco/internal/compress"
+	"github.com/disco-sim/disco/internal/fault"
 	"github.com/disco-sim/disco/internal/metrics"
 	"github.com/disco-sim/disco/internal/stats"
 )
@@ -99,9 +102,24 @@ type Network struct {
 
 	tracer Tracer
 
+	// Fault injection (nil unless cfg.Fault arms at least one class).
+	fault          *fault.Injector
+	creditRestores []creditRestore
+	sinkRecoveries uint64
+	creditsLost    uint64
+	creditsHealed  uint64
+	decoders       map[string]compress.Algorithm // sink-verification decoders
+
 	// Metrics attachment (see AttachMetrics).
 	mreg      *metrics.Registry
 	minterval uint64
+}
+
+// creditRestore schedules the return of one fault-dropped credit. The
+// recovery delay is a constant, so the queue is naturally ordered by at.
+type creditRestore struct {
+	at uint64
+	vc *vcBuf
 }
 
 // New builds a network from cfg.
@@ -110,11 +128,36 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{cfg: cfg, ni: make([]niState, cfg.Nodes())}
+	if cfg.Fault.Enabled() {
+		n.fault = fault.NewInjector(*cfg.Fault)
+		if cfg.Disco != nil {
+			// Sink verification must decode with the live instance:
+			// statistical compressors (SC², FVC) need their trained
+			// tables, which a fresh constructor would lack.
+			n.RegisterDecoder(cfg.Disco.Algorithm)
+		}
+	}
 	n.Routers = make([]*Router, cfg.Nodes())
 	for i := range n.Routers {
 		n.Routers[i] = newRouter(i, n)
 	}
 	return n, nil
+}
+
+// FaultEnabled reports whether a fault injector is armed.
+func (n *Network) FaultEnabled() bool { return n.fault != nil }
+
+// RegisterDecoder makes alg available to the fault layer's sink
+// integrity check. Callers that inject pre-compressed payloads encoded
+// by a stateful (trained) compressor should register that instance.
+func (n *Network) RegisterDecoder(alg compress.Algorithm) {
+	if alg == nil {
+		return
+	}
+	if n.decoders == nil {
+		n.decoders = make(map[string]compress.Algorithm)
+	}
+	n.decoders[alg.Name()] = alg
 }
 
 // Config returns the network configuration.
@@ -123,11 +166,9 @@ func (n *Network) Config() Config { return n.cfg }
 // Inject queues a packet for injection at its source node's NI.
 func (n *Network) Inject(p *Packet) {
 	if p.Src < 0 || p.Src >= n.cfg.Nodes() || p.Dst < 0 || p.Dst >= n.cfg.Nodes() {
+		// A protocol bug, not a configuration error: geometry limits are
+		// rejected by Config.Validate before the network exists.
 		panic(fmt.Sprintf("noc: inject with bad src/dst %d->%d", p.Src, p.Dst))
-	}
-	if n.cfg.FlowControl != Wormhole && p.FlitCount > n.cfg.BufDepth {
-		panic(fmt.Sprintf("noc: %v flow control requires BufDepth >= packet size (%d > %d)",
-			n.cfg.FlowControl, p.FlitCount, n.cfg.BufDepth))
 	}
 	if p.Src == p.Dst {
 		// Local delivery bypasses the network (NI loopback).
@@ -156,6 +197,9 @@ func (n *Network) InjectQueueLen(node int) int {
 
 // eject delivers a packet to the node's NI.
 func (n *Network) eject(node int, pkt *Packet) {
+	if n.fault != nil {
+		n.verifyAtSink(node, pkt)
+	}
 	pkt.EjectCycle = n.Cycle
 	n.stats.Ejected++
 	lat := float64(pkt.EjectCycle - pkt.InjectCycle)
@@ -179,8 +223,51 @@ func (n *Network) eject(node int, pkt *Packet) {
 	}
 }
 
+// verifyAtSink is the end-to-end integrity check active whenever fault
+// injection is armed: a compressed payload that no longer decodes to the
+// packet's retained original (a bit-flip that survived to the sink) is
+// recovered by delivering the uncompressed original instead — the
+// shadow-packet guarantee extended to the NI. Corruption is therefore
+// always caught and recovered, never silently delivered.
+func (n *Network) verifyAtSink(node int, pkt *Packet) {
+	if n.fault.Spec().PayloadRate <= 0 ||
+		!pkt.Compressed || !pkt.Compressible || len(pkt.Block) == 0 {
+		return
+	}
+	if block, err := n.decodeComp(pkt.Comp); err == nil && bytes.Equal(block, pkt.Block) {
+		return
+	}
+	n.sinkRecoveries++
+	n.trace(node, EvFaultRecover, pkt)
+	pkt.ApplyDecompression(pkt.Block)
+}
+
+// decodeComp decompresses an encoding with a per-algorithm decoder cache
+// (the sink check must not disturb any engine state).
+func (n *Network) decodeComp(c compress.Compressed) ([]byte, error) {
+	alg, ok := n.decoders[c.Alg]
+	if !ok {
+		if n.decoders == nil {
+			n.decoders = make(map[string]compress.Algorithm)
+		}
+		alg, _ = compress.New(c.Alg) // nil for unknown names
+		n.decoders[c.Alg] = alg
+	}
+	if alg == nil {
+		return nil, fmt.Errorf("noc: no decoder for algorithm %q", c.Alg)
+	}
+	return alg.Decompress(c)
+}
+
 // Step advances the network by one cycle.
 func (n *Network) Step() {
+	// Phase 0a: due credit recoveries land (fault injection only). The
+	// queue is ordered by restore cycle (constant recovery delay).
+	for len(n.creditRestores) > 0 && n.creditRestores[0].at <= n.Cycle {
+		n.creditRestores[0].vc.restoreCredit()
+		n.creditsHealed++
+		n.creditRestores = n.creditRestores[1:]
+	}
 	// Phase 0: link arrivals land in input buffers.
 	pend := n.pending
 	n.pending = n.pending[:0]
@@ -365,6 +452,77 @@ func (n *Network) LinkUtilization() (max, mean float64) {
 		return 0, 0
 	}
 	return max, sum / float64(links)
+}
+
+// scheduleCreditRestore queues the link-level recovery of one credit
+// dropped on vc.
+func (n *Network) scheduleCreditRestore(vc *vcBuf) {
+	n.creditsLost++
+	n.creditRestores = append(n.creditRestores,
+		creditRestore{at: n.Cycle + n.fault.Spec().CreditRecovery, vc: vc})
+}
+
+// FaultStats aggregates the fault-injection and recovery counters. It is
+// reported (and serialized) only when an injector is armed, so fault-free
+// results stay byte-identical to a build without the fault layer.
+type FaultStats struct {
+	// EngineFaults counts injected engine faults (stuck-busy aborts).
+	EngineFaults uint64
+	// BreakerTrips counts circuit-breaker openings (engine bypass after
+	// K consecutive faults); BreakerOpen counts engines bypassed now.
+	BreakerTrips uint64
+	BreakerOpen  int
+	// PayloadFlips counts injected bit-flips; EngineRecoveries counts
+	// corrupt payloads caught at an in-network decompression and
+	// recovered from the retained original (shadow semantics), and
+	// SinkRecoveries the same at ejection.
+	PayloadFlips     uint64
+	EngineRecoveries uint64
+	SinkRecoveries   uint64
+	// CreditsDropped/CreditsRestored count link credit losses and their
+	// recoveries; CreditsOutstanding is the gap at snapshot time.
+	CreditsDropped     uint64
+	CreditsRestored    uint64
+	CreditsOutstanding int
+}
+
+// Recoveries sums every recovery path (engine faults are recovered by
+// definition: the shadow packet continues uncompressed).
+func (f *FaultStats) Recoveries() uint64 {
+	return f.EngineFaults + f.EngineRecoveries + f.SinkRecoveries
+}
+
+// String renders a compact summary.
+func (f *FaultStats) String() string {
+	return fmt.Sprintf(
+		"engine faults %d (breaker trips %d, open %d); payload flips %d (recovered %d in-network, %d at sink); credits lost %d (restored %d, outstanding %d)",
+		f.EngineFaults, f.BreakerTrips, f.BreakerOpen,
+		f.PayloadFlips, f.EngineRecoveries, f.SinkRecoveries,
+		f.CreditsDropped, f.CreditsRestored, f.CreditsOutstanding)
+}
+
+// FaultStats folds the per-router fault counters into one snapshot, or
+// nil when fault injection is not armed.
+func (n *Network) FaultStats() *FaultStats {
+	if n.fault == nil {
+		return nil
+	}
+	fs := &FaultStats{
+		SinkRecoveries:  n.sinkRecoveries,
+		CreditsDropped:  n.creditsLost,
+		CreditsRestored: n.creditsHealed,
+	}
+	for _, r := range n.Routers {
+		fs.EngineFaults += r.faultEngineFaults
+		fs.BreakerTrips += r.breakerTrips
+		if r.breakerOpen {
+			fs.BreakerOpen++
+		}
+		fs.PayloadFlips += r.faultPayloadFlips
+		fs.EngineRecoveries += r.faultRecoveries
+	}
+	fs.CreditsOutstanding = int(fs.CreditsDropped - fs.CreditsRestored)
+	return fs
 }
 
 // Stats returns a snapshot of the network counters, folding in per-router

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/disco-sim/disco/internal/compress"
+	"github.com/disco-sim/disco/internal/fault"
 )
 
 // Class is the traffic class of a packet, mirroring the three packet
@@ -96,6 +97,10 @@ func flitsFor(n int) int {
 	return 1 + (n+compress.FlitBytes-1)/compress.FlitBytes
 }
 
+// maxPacketFlits is the largest packet the simulator builds: a head flit
+// plus an uncompressed cache block.
+const maxPacketFlits = 1 + compress.BlockSize/compress.FlitBytes
+
 // NewControlPacket builds a single-flit request/coherence packet.
 func NewControlPacket(id uint64, src, dst int, class Class) *Packet {
 	return &Packet{ID: id, Src: src, Dst: dst, Class: class, FlitCount: 1}
@@ -139,6 +144,15 @@ func (p *Packet) ApplyDecompression(block []byte) {
 	p.Comp = compress.Compressed{}
 	p.PayloadBytes = compress.BlockSize
 	p.FlitCount = flitsFor(compress.BlockSize)
+}
+
+// corruptPayloadBit flips one bit of the compressed payload,
+// copy-on-write: the original encoding slice is shared with the endpoint
+// compression caches and with other packets carrying the same block, so
+// it must never be mutated in place. The flit count is unchanged — a
+// flipped bit corrupts content, not length.
+func (p *Packet) corruptPayloadBit(bit int) {
+	p.Comp.Payload = fault.FlipBit(p.Comp.Payload, bit)
 }
 
 // PayloadFlits returns the packet's current payload flit count.

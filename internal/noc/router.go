@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"bytes"
+
 	"github.com/disco-sim/disco/internal/compress"
 	"github.com/disco-sim/disco/internal/disco"
 )
@@ -30,6 +32,20 @@ type Router struct {
 	// congestionEWMA tracks buffered-flit occupancy over capacity for
 	// the adaptive-threshold extension (disco.Config.Adaptive).
 	congestionEWMA float64
+
+	// Fault injection state (all zero / dormant unless net.fault != nil).
+	// The circuit breaker implements graceful degradation: after K
+	// consecutive engine faults the arbitrator stops feeding this
+	// router's engine (selective-compression bypass, Section 3.3C) and
+	// re-arms once the cooldown elapses.
+	breakerConsec     int
+	breakerOpen       bool
+	breakerOpenUntil  uint64
+	breakerTrips      uint64
+	faultEngineFaults uint64
+	faultPayloadFlips uint64
+	faultCreditDrops  uint64
+	faultRecoveries   uint64 // corrupt payloads recovered at this engine
 
 	// Per-cycle scratch buffers (avoid per-cycle allocation).
 	vaReqs  [NumPorts][]*vcBuf
@@ -69,6 +85,11 @@ func newRouter(id int, net *Network) *Router {
 	}
 	if net.cfg.Disco != nil {
 		r.engine = disco.NewEngine(net.cfg.Disco.Algorithm)
+		if net.fault != nil {
+			if spec := net.fault.Spec(); spec.EngineRate > 0 {
+				r.engine.SetFaultOracle(net.fault.EngineFault, spec.EngineStuck)
+			}
+		}
 	}
 	return r
 }
@@ -373,6 +394,25 @@ func (r *Router) traverse(e *vcBuf) {
 	d := r.downstream(e.outPort)
 	ip := e.outPort.opposite()
 	dst := d.in[ip][e.outVC]
+	if f := r.net.fault; f != nil {
+		if e.sent == 1 && pkt.Compressed && len(pkt.Comp.Payload) > 0 && f.PayloadFlip() {
+			// Bit-flip the compressed payload as its head flit enters the
+			// link: every downstream consumer (engine or sink) sees the
+			// corrupt encoding.
+			pkt.corruptPayloadBit(f.BitIndex(len(pkt.Comp.Payload) * 8))
+			r.faultPayloadFlips++
+			r.net.trace(r.id, EvPayloadFlip, pkt)
+		}
+		if f.CreditLoss() {
+			// Lose the credit for this flit's slot: the upstream keeps
+			// seeing the slot occupied until link-level recovery returns
+			// it (scheduleCreditRestore).
+			dst.dropCredit()
+			r.faultCreditDrops++
+			r.net.trace(r.id, EvCreditDrop, pkt)
+			r.net.scheduleCreditRestore(dst)
+		}
+	}
 	dst.reserveSlot()
 	r.net.pending = append(r.net.pending, arrival{
 		router: d, port: ip, vc: e.outVC, pkt: pkt,
@@ -405,11 +445,36 @@ func (r *Router) stageEngine() {
 	done := r.engine.Tick(r.net.Cycle)
 	if done != nil {
 		r.engineVC = nil
-		if e == nil || e.pkt == nil || e.pkt.ID != done.PacketID {
-			return // packet left via non-blocking release already
+		if e != nil && (e.pkt == nil || e.pkt.ID != done.PacketID) {
+			e = nil // packet left via non-blocking release already
+		}
+		if done.Faulted {
+			// Injected transient engine fault: the job held the engine
+			// busy for its stuck window and then aborted. The shadow
+			// packet is intact (same non-blocking mechanism as a
+			// mis-predicted release) — and may already have escaped
+			// through it — so recovery is simply dropping the job: the
+			// packet continues in its pre-engine form. The fault is
+			// counted either way; it wedged the engine regardless of
+			// where the packet went. No CompressionFailed latch: the
+			// fault is transient, not a property of the content.
+			var pkt *Packet
+			if e != nil {
+				pkt = e.pkt
+			}
+			r.net.trace(r.id, EvEngineFault, pkt)
+			r.noteEngineFault()
+			if e != nil {
+				e.abortJob()
+			}
+			return
+		}
+		if e == nil {
+			return
 		}
 		switch {
 		case done.State == disco.JobDone && done.Kind == disco.JobCompress:
+			r.breakerConsec = 0
 			r.net.trace(r.id, EvEngineDone, e.pkt)
 			res := done.Result()
 			if newFlits := flitsFor(res.SizeBytes()); newFlits >= e.pkt.FlitCount ||
@@ -424,10 +489,23 @@ func (r *Router) stageEngine() {
 			e.pkt.Conversions++
 			e.restockCompressed(e.pkt.FlitCount)
 		case done.State == disco.JobDone && done.Kind == disco.JobDecompress:
+			r.breakerConsec = 0
+			if r.net.fault != nil && !bytes.Equal(done.Block(), e.pkt.Block) {
+				// The decode "succeeded" but produced the wrong bytes — an
+				// injected bit-flip that stayed inside the code space.
+				// Recover from the retained original.
+				r.recoverCorrupt(e)
+				return
+			}
 			r.net.trace(r.id, EvEngineDone, e.pkt)
 			e.pkt.ApplyDecompression(done.Block())
 			e.pkt.Conversions++
 			e.restockDecompressed(e.pkt.FlitCount)
+		case done.Kind == disco.JobDecompress && r.net.fault != nil:
+			// Decode error (compress.ErrCorrupt) under fault injection: an
+			// in-flight bit-flip was detected. Deliver the retained
+			// uncompressed original instead of the corrupt encoding.
+			r.recoverCorrupt(e)
 		default: // aborted (incompressible content)
 			r.net.trace(r.id, EvEngineFail, e.pkt)
 			e.pkt.CompressionFailed = true
@@ -465,6 +543,18 @@ func (r *Router) stageDiscoArb() {
 	cfg := r.net.cfg.Disco
 	if cfg == nil {
 		return
+	}
+	if r.breakerOpen {
+		if r.net.Cycle < r.breakerOpenUntil {
+			// Circuit breaker open: this router's engine is bypassed
+			// (selective-compression fallback). Consume this cycle's
+			// lostArb flags so they do not go stale.
+			r.eachVC(func(_ Port, _ int, e *vcBuf) { e.lostArb = false })
+			return
+		}
+		r.breakerOpen = false
+		r.breakerConsec = 0
+		r.net.trace(r.id, EvBreakerArm, nil)
 	}
 	engineFree := !r.engine.Busy()
 	r.arbVCs = r.arbVCs[:0]
@@ -541,6 +631,36 @@ func (r *Router) stageDiscoArb() {
 	r.engineVC = sel
 	r.engineStarts++
 	r.net.trace(r.id, EvEngineStart, pkt)
+}
+
+// noteEngineFault accounts one injected engine fault and advances the
+// circuit breaker: after BreakerK consecutive faults the router stops
+// feeding its engine until the cooldown elapses (graceful degradation
+// to plain forwarding, mirroring the paper's selective-compression
+// bypass of Section 3.3C).
+func (r *Router) noteEngineFault() {
+	r.faultEngineFaults++
+	r.breakerConsec++
+	spec := r.net.fault.Spec()
+	if !r.breakerOpen && r.breakerConsec >= spec.BreakerK {
+		r.breakerOpen = true
+		r.breakerOpenUntil = r.net.Cycle + spec.BreakerCooldown
+		r.breakerTrips++
+		r.net.trace(r.id, EvBreakerTrip, nil)
+	}
+}
+
+// recoverCorrupt handles a decompression whose input was hit by an
+// injected bit-flip (decode error, or a decode that silently produced
+// the wrong bytes): the packet's retained uncompressed original — the
+// same shadow content the non-blocking release path relies on — is
+// delivered instead, so corruption is never propagated.
+func (r *Router) recoverCorrupt(e *vcBuf) {
+	r.faultRecoveries++
+	r.net.trace(r.id, EvFaultRecover, e.pkt)
+	e.pkt.ApplyDecompression(e.pkt.Block)
+	e.pkt.Conversions++
+	e.restockDecompressed(e.pkt.FlitCount)
 }
 
 // Engine exposes the router's DISCO engine for diagnostics (nil when

@@ -27,6 +27,16 @@ const (
 	EvEngineDone    = "engine-done"    // transform applied
 	EvEngineRelease = "engine-release" // shadow released (mis-prediction)
 	EvEngineFail    = "engine-fail"    // incompressible content
+
+	// Fault-injection and resilience events (internal/fault; emitted only
+	// when an injector is armed, so fault-free traces are unchanged).
+	EvEngineFault  = "engine-fault"  // injected engine fault (stuck-busy abort)
+	EvBreakerTrip  = "breaker-trip"  // engine circuit breaker opened (bypass)
+	EvBreakerArm   = "breaker-rearm" // breaker cooldown elapsed; engine re-enabled
+	EvPayloadFlip  = "payload-flip"  // injected bit-flip in a compressed payload
+	EvFaultRecover = "fault-recover" // corrupt payload recovered via the original
+	EvCreditDrop   = "credit-drop"   // injected credit loss on a link
+	EvStall        = "stall"         // watchdog diagnostic (in-flight packet dump)
 )
 
 // SetTracer attaches t (nil detaches).

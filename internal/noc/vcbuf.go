@@ -50,6 +50,11 @@ type vcBuf struct {
 	lock     lockState
 	absorbed int // payload flits handed to the engine
 
+	// lostCredits counts credits lost to fault injection on the incoming
+	// link: each one holds a buffer slot hostage (the upstream believes
+	// it is occupied) until the link-level recovery restores it.
+	lostCredits int
+
 	// lostArb marks a VA/SA loss this cycle (DISCO candidate filter).
 	lostArb bool
 	// waitCycles accumulates cycles the packet spent buffered here while
@@ -57,14 +62,15 @@ type vcBuf struct {
 	waitCycles uint64
 }
 
-// reset clears the VC for reuse.
+// reset clears the VC for reuse. In-flight flits keep their reservation
+// and lost credits stay lost until their recovery lands.
 func (v *vcBuf) reset() {
-	*v = vcBuf{reserved: v.reserved} // in-flight flits (if any) keep their reservation
+	*v = vcBuf{reserved: v.reserved, lostCredits: v.lostCredits}
 }
 
 // occupancy is the number of buffer slots this VC consumes now or next
-// cycle.
-func (v *vcBuf) occupancy() int { return v.stored + v.reserved }
+// cycle; a lost credit occupies a slot from the upstream's point of view.
+func (v *vcBuf) occupancy() int { return v.stored + v.reserved + v.lostCredits }
 
 // syncReady keeps ready mirroring arrived flits while the engine does
 // not own the payload (after a commit the engine streams flits out
@@ -161,6 +167,17 @@ func (v *vcBuf) restockDecompressed(flits int) {
 	v.ready = flits
 	v.sent = 0
 	v.lock = lockNone
+}
+
+// dropCredit loses one credit of this VC to fault injection: the slot
+// reads as occupied to the upstream until restoreCredit.
+func (v *vcBuf) dropCredit() { v.lostCredits++ }
+
+// restoreCredit returns one lost credit (link-level recovery).
+func (v *vcBuf) restoreCredit() {
+	if v.lostCredits > 0 {
+		v.lostCredits--
+	}
 }
 
 // abortJob ends an engine job without a transform (incompressible

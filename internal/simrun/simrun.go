@@ -19,6 +19,7 @@ package simrun
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"github.com/disco-sim/disco/internal/cmp"
@@ -150,7 +151,7 @@ func (r *Runner) drain() {
 			close(j.c.done)
 			continue
 		}
-		j.c.res, j.c.err = j.run()
+		j.c.res, j.c.err = runCell(j.run)
 		if j.c.err != nil {
 			r.mu.Lock()
 			if !r.canceled {
@@ -160,4 +161,32 @@ func (r *Runner) drain() {
 		}
 		close(j.c.done)
 	}
+}
+
+// PanicError is a cell panic converted into an ordinary error: one
+// pathological configuration must fail its own future (and cancel the
+// queue like any other failure), not tear down the worker goroutine and
+// every sibling experiment with it.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack (runtime/debug.Stack),
+	// captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simrun: cell panicked: %v", e.Value)
+}
+
+// runCell invokes one cell's simulation closure, converting a panic into
+// a *PanicError result.
+func runCell(run func() (cmp.Results, error)) (res cmp.Results, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = cmp.Results{}, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return run()
 }

@@ -134,3 +134,31 @@ func TestDefaultWorkerCount(t *testing.T) {
 		t.Errorf("explicit workers = %d, want 7", w)
 	}
 }
+
+func TestPanicBecomesError(t *testing.T) {
+	r := New(2, false)
+	boom := r.Submit(testKey(1), func() (cmp.Results, error) {
+		panic("wedged configuration")
+	})
+	_, err := boom.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if pe.Value != "wedged configuration" || len(pe.Stack) == 0 {
+		t.Errorf("panic error missing value/stack: %+v", pe)
+	}
+	// The panic cancels the queue like any other failure...
+	late, err := func() (cmp.Results, error) {
+		return r.Submit(testKey(2), func() (cmp.Results, error) {
+			return cmp.Results{Cycles: 1}, nil
+		}).Wait()
+	}()
+	if err == nil && late.Cycles != 1 {
+		t.Errorf("post-panic cell neither ran nor was canceled: %+v", late)
+	}
+	if err != nil && !errors.As(err, &pe) {
+		t.Errorf("cancellation should wrap the panic error, got: %v", err)
+	}
+	// ...and, crucially, the worker goroutine survived to serve it either way.
+}

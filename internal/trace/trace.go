@@ -217,6 +217,7 @@ type Access struct {
 type Generator struct {
 	prof       *Profile
 	core       int
+	err        error // latched construction error; Next returns zeros
 	rng        *rand.Rand
 	zipfPriv   *rand.Zipf
 	zipfShared *rand.Zipf
@@ -224,9 +225,14 @@ type Generator struct {
 
 // NewGenerator builds core's stream for the profile. The same
 // (profile, core, seed) always yields the same stream.
+//
+// An invalid profile does not panic: the error is latched, Next returns
+// zero accesses, and Err reports the problem — callers that validated
+// the profile up front (the cmp harness does) never see it, and callers
+// that didn't get a diagnosable stream instead of a crash.
 func NewGenerator(p *Profile, core int, seed int64) *Generator {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return &Generator{prof: p, core: core, err: err}
 	}
 	rng := rand.New(rand.NewSource(seed ^ int64(splitmix64(uint64(core)+uint64(p.Seed)<<20))))
 	return &Generator{
@@ -238,8 +244,15 @@ func NewGenerator(p *Profile, core int, seed int64) *Generator {
 	}
 }
 
+// Err returns the latched construction error, or nil for a usable
+// generator.
+func (g *Generator) Err() error { return g.err }
+
 // Next returns the next access.
 func (g *Generator) Next() Access {
+	if g.err != nil {
+		return Access{}
+	}
 	var addr uint64
 	var write bool
 	if g.rng.Float64() < g.prof.SharedFraction {

@@ -244,13 +244,20 @@ func TestValidateRejectsBadProfiles(t *testing.T) {
 	}
 }
 
-func TestNewGeneratorPanicsOnInvalid(t *testing.T) {
+func TestNewGeneratorLatchesInvalidProfile(t *testing.T) {
 	p, _ := ByName("vips")
 	p.ZipfS = 0.5
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+	g := NewGenerator(&p, 0, 1)
+	if g.Err() == nil {
+		t.Fatal("invalid profile should latch an error")
+	}
+	// A latched generator stays inert instead of crashing mid-run.
+	for i := 0; i < 3; i++ {
+		if a := g.Next(); a != (Access{}) {
+			t.Fatalf("Next on a latched generator = %+v, want zero", a)
 		}
-	}()
-	NewGenerator(&p, 0, 1)
+	}
+	if good, _ := ByName("vips"); NewGenerator(&good, 0, 1).Err() != nil {
+		t.Error("valid profile latched an error")
+	}
 }

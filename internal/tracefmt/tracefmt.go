@@ -61,6 +61,13 @@ const (
 	KindEngineDone
 	KindEngineRelease
 	KindEngineFail
+	KindEngineFault
+	KindBreakerTrip
+	KindBreakerArm
+	KindPayloadFlip
+	KindFaultRecover
+	KindCreditDrop
+	KindStall
 	numKinds
 )
 
@@ -77,6 +84,13 @@ var kindNames = [numKinds]string{
 	KindEngineDone:    "engine-done",
 	KindEngineRelease: "engine-release",
 	KindEngineFail:    "engine-fail",
+	KindEngineFault:   "engine-fault",
+	KindBreakerTrip:   "breaker-trip",
+	KindBreakerArm:    "breaker-rearm",
+	KindPayloadFlip:   "payload-flip",
+	KindFaultRecover:  "fault-recover",
+	KindCreditDrop:    "credit-drop",
+	KindStall:         "stall",
 }
 
 // String implements fmt.Stringer.
