@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet fmt test race fuzz-smoke chaos-smoke bench-snapshot bench-compare ci
+.PHONY: all build lint vet fmt test race test-race-parallel cover fuzz-smoke chaos-smoke bench-snapshot bench-compare ci
 
 all: build lint test
 
@@ -24,6 +24,29 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The two-phase cycle engine's packages (including the golden
+# byte-identity and conservation-property suites, which exercise worker
+# pools at several widths) under the race detector at two scheduler
+# widths: GOMAXPROCS=1 forces maximal interleaving through the pool's
+# wake/barrier protocol on one P, GOMAXPROCS=4 runs compute shards
+# genuinely concurrently.
+test-race-parallel:
+	GOMAXPROCS=1 $(GO) test -race ./internal/noc ./internal/disco ./internal/cmp
+	GOMAXPROCS=4 $(GO) test -race ./internal/noc ./internal/disco ./internal/cmp
+
+# Per-package statement coverage. internal/noc — the cycle engine the
+# whole simulator rests on — enforces a floor so the golden/property
+# layer cannot silently rot as the engine grows.
+NOC_COVER_FLOOR = 85
+cover:
+	@out="$$($(GO) test -cover ./... | grep -v 'no test files')"; \
+	echo "$$out"; \
+	pct="$$(echo "$$out" | awk '$$2 ~ /internal\/noc$$/ { for (i = 1; i <= NF; i++) if ($$i ~ /%/) { gsub(/%.*/, "", $$i); print $$i } }')"; \
+	if [ -z "$$pct" ]; then echo "cover: no coverage line for internal/noc" >&2; exit 1; fi; \
+	awk -v p="$$pct" -v floor="$(NOC_COVER_FLOOR)" 'BEGIN { \
+		if (p + 0 < floor + 0) { printf "internal/noc coverage %s%% is below the %s%% floor\n", p, floor; exit 1 } \
+		printf "internal/noc coverage %s%% (floor %s%%)\n", p, floor }'
 
 # Short native-fuzzing pass over the compressor decoders.
 fuzz-smoke:
@@ -63,13 +86,16 @@ bench-snapshot:
 # Re-run the tier-2 micro-benchmarks (best of 5) and diff them against
 # the committed baseline (bench/bench.txt) with cmd/benchcmp. Fails when
 # a gated hot path (Compress*, Decompress*, NoCStep*) regresses its
-# ns/op by more than 10%.
+# ns/op by more than 10%, or — on a multi-CPU host — when the two-phase
+# engine's 4-worker 8x8 mesh speedup over the serial engine falls below
+# 1.5x (single-CPU hosts report the ratio without enforcing the floor).
 bench-compare:
 	@mkdir -p bench
 	$(GO) test -run TestNone \
 		-bench '^(BenchmarkCompress|BenchmarkDecompress|BenchmarkNoCStep|BenchmarkTraceGeneration|BenchmarkBlockContent)' \
 		-benchtime=50000x -count=5 -benchmem . | tee bench/new.txt
 	$(GO) run ./cmd/benchcmp -baseline bench/bench.txt -new bench/new.txt \
-		-gate '^BenchmarkCompress|^BenchmarkDecompress|^BenchmarkNoCStep' -max-regress 10
+		-gate '^BenchmarkCompress|^BenchmarkDecompress|^BenchmarkNoCStep' -max-regress 10 \
+		-speedup 'BenchmarkNoCStepMesh8Serial=BenchmarkNoCStepMesh8Workers4' -min-speedup 1.5
 
-ci: build lint race fuzz-smoke chaos-smoke
+ci: build lint race test-race-parallel cover fuzz-smoke chaos-smoke

@@ -255,6 +255,41 @@ func BenchmarkNoCStepLoaded(b *testing.B) {
 	}
 }
 
+// benchNoCStepMesh8 measures per-cycle cost of a loaded 8x8 DISCO mesh
+// at a given worker count — the serial/parallel pair quantifies the
+// two-phase engine's intra-simulation speedup (`-sim-workers`).
+func benchNoCStepMesh8(b *testing.B, workers int) {
+	b.Helper()
+	cfg := noc.DefaultConfig()
+	cfg.K = 8
+	dc := disco.DefaultConfig(compress.NewDelta())
+	cfg.Disco = &dc
+	net, err := noc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	net.SetWorkers(workers)
+	tc := noc.DefaultTraffic()
+	tc.InjectionRate = 0.08
+	gen := noc.NewTrafficGen(net, tc)
+	for i := 0; i < 500; i++ {
+		gen.Step()
+		net.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Step()
+		net.Step()
+	}
+}
+
+// BenchmarkNoCStepMesh8Serial is the serial-engine reference.
+func BenchmarkNoCStepMesh8Serial(b *testing.B) { benchNoCStepMesh8(b, 1) }
+
+// BenchmarkNoCStepMesh8Workers4 shards compute across 4 workers.
+func BenchmarkNoCStepMesh8Workers4(b *testing.B) { benchNoCStepMesh8(b, 4) }
+
 // BenchmarkTraceGeneration measures workload-stream generation.
 func BenchmarkTraceGeneration(b *testing.B) {
 	prof, _ := trace.ByName("canneal")

@@ -48,14 +48,15 @@ func main() {
 		faultSpec    = flag.String("fault-spec", "", `with -run: arm fault injection, e.g. "engine=0.01,stuck=32,payload=0.001,credit=0.001" (see internal/fault)`)
 		faultSeed    = flag.Int64("fault-seed", 1, "with -run: fault-injection PRNG seed")
 
-		jobs    = flag.Int("j", 0, "parallel simulation workers (0 = all cores); results are byte-identical at any setting")
-		noCache = flag.Bool("no-cache", false, "disable the cross-figure run memo cache")
+		jobs       = flag.Int("j", 0, "parallel simulation workers (0 = all cores); results are byte-identical at any setting")
+		simWorkers = flag.Int("sim-workers", 1, "with -run: shard the NoC cycle engine across this many workers within the one simulation; results are byte-identical at any setting")
+		noCache    = flag.Bool("no-cache", false, "disable the cross-figure run memo cache")
 	)
 	flag.Parse()
 
 	if *runMode != "" {
 		obs := observeOpts{metricsOut: *metricsOut, metricsEvery: *metricsEvery, traceBin: *traceBin,
-			faultSpec: *faultSpec, faultSeed: *faultSeed}
+			faultSpec: *faultSpec, faultSeed: *faultSeed, simWorkers: *simWorkers}
 		if err := singleRun(*runMode, *bench, *alg, *k, *ops, *warmup, *seed, obs); err != nil {
 			fmt.Fprintln(os.Stderr, "discosim:", err)
 			os.Exit(1)
@@ -248,13 +249,14 @@ func runExperiments(exp string, o experiments.Opts) error {
 	return nil
 }
 
-// observeOpts are the -run observability attachments.
+// observeOpts are the -run observability attachments and engine knobs.
 type observeOpts struct {
 	metricsOut   string
 	metricsEvery uint64
 	traceBin     string
 	faultSpec    string
 	faultSeed    int64
+	simWorkers   int
 }
 
 // singleRun executes one raw simulation and prints its result line.
@@ -303,10 +305,12 @@ func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, obs obse
 		spec.Seed = obs.faultSeed
 		cfg.Fault = &spec
 	}
+	cfg.SimWorkers = obs.simWorkers
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		return err
 	}
+	defer sys.Close()
 	var reg *metrics.Registry
 	if obs.metricsOut != "" {
 		reg = metrics.NewRegistry()

@@ -136,6 +136,46 @@ func TestRenderReport(t *testing.T) {
 	}
 }
 
+// TestSlowestTieBreakByPacketID is the regression test for the top-N
+// "slowest packets" ordering: packets with equal latency must be listed
+// by ascending packet ID, no matter the order they were delivered in —
+// the report has to be byte-stable across runs.
+func TestSlowestTieBreakByPacketID(t *testing.T) {
+	var buf []byte
+	buf = tracefmt.AppendHeader(buf, 4)
+	rec := func(r tracefmt.Record) {
+		buf = tracefmt.AppendRecord(buf, &r)
+	}
+	// One genuinely slower packet (id 6, total 40) and four packets tied
+	// at total 20, delivered in a deliberately scrambled id order.
+	tied := []uint64{5, 3, 8, 1}
+	for i, id := range tied {
+		p := tracefmt.PacketInfo{ID: id, Src: 0, Dst: 3, Flits: 5, Hops: 2}
+		rec(tracefmt.Record{Cycle: uint64(i), Router: 0, Kind: tracefmt.KindInject, HasPacket: true, Pkt: p})
+		rec(tracefmt.Record{Cycle: uint64(i) + 20, Router: 3, Kind: tracefmt.KindEject, HasPacket: true, Pkt: p})
+	}
+	slow := tracefmt.PacketInfo{ID: 6, Src: 1, Dst: 2, Flits: 5, Hops: 2}
+	rec(tracefmt.Record{Cycle: 0, Router: 1, Kind: tracefmt.KindInject, HasPacket: true, Pkt: slow})
+	rec(tracefmt.Record{Cycle: 40, Router: 2, Kind: tracefmt.KindEject, HasPacket: true, Pkt: slow})
+
+	a := analyzeBytes(t, buf)
+	var out strings.Builder
+	if err := a.renderSlowest(&out, 5); err != nil {
+		t.Fatalf("renderSlowest: %v", err)
+	}
+	var ids []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		f := strings.Fields(line)
+		if len(f) > 1 && strings.Contains(f[1], "->") {
+			ids = append(ids, f[0])
+		}
+	}
+	want := []string{"6", "1", "3", "5", "8"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Errorf("slowest-packet order = %v, want %v (latency desc, then packet ID asc)", ids, want)
+	}
+}
+
 func TestRenderEmptyTrace(t *testing.T) {
 	var buf []byte
 	buf = tracefmt.AppendHeader(buf, 4)

@@ -11,6 +11,12 @@ import (
 // (tracers, metrics); the returned network is owned by the system.
 func (s *System) Network() *noc.Network { return s.net }
 
+// Close releases resources held by the system — currently the NoC's
+// worker pool when Config.SimWorkers armed the parallel engine. The
+// system remains usable afterwards on the serial engine. No-op when the
+// run was serial.
+func (s *System) Close() { s.net.Close() }
+
 // AttachMetrics registers the full-system observability surface in reg:
 // the NoC scope (see noc.Network.AttachMetrics) plus a "cmp" scope with
 // memory-hierarchy counters, latency accumulators and a per-tile

@@ -1,0 +1,64 @@
+package cmp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestParallelRunByteIdentical is the cmp-level golden gate for the
+// two-phase engine: a full-system DISCO run must produce identical
+// Results (latencies, energy, network counters — everything) whether
+// the NoC's compute phase runs serially or sharded across workers.
+func TestParallelRunByteIdentical(t *testing.T) {
+	serial := run(t, quickCfg(DISCO, "ferret"))
+	for _, workers := range []int{2, 4, 8} {
+		cfg := quickCfg(DISCO, "ferret")
+		cfg.SimWorkers = workers
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer sys.Close()
+		if got := sys.Network().Workers(); got != workers {
+			t.Fatalf("SimWorkers=%d not applied: network reports %d", workers, got)
+		}
+		parallel, err := sys.Run()
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d: results differ from serial run:\nserial:   %+v\nparallel: %+v",
+				workers, serial, parallel)
+		}
+	}
+}
+
+// TestHealthyParallelRunNoStall pins the watchdog fix: sampling the
+// progress signature only at post-commit boundaries, a healthy parallel
+// run must never trip a *StallError — even with a watchdog window tight
+// enough that any mis-sampled (frozen-looking) signature would fire it.
+func TestHealthyParallelRunNoStall(t *testing.T) {
+	cfg := quickCfg(DISCO, "bodytrack")
+	cfg.SimWorkers = 4
+	cfg.StallWindow = 4096
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+	r, err := sys.Run()
+	var se *StallError
+	if errors.As(err, &se) {
+		t.Fatalf("healthy parallel run tripped the watchdog: %v", se)
+	}
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Cycles == 0 {
+		t.Error("empty results from parallel run")
+	}
+	if !sys.Network().AtCommitBoundary() {
+		t.Error("network not at a commit boundary after Run returned")
+	}
+}

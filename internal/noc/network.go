@@ -95,6 +95,13 @@ type Network struct {
 	busyScratch []bool
 	stats       Stats
 
+	// Two-phase engine state (see parallel.go / DESIGN.md §9): pool
+	// shards compute phases across workers (nil = serial engine);
+	// stepping is true while a Step is applying staged effects, so
+	// observers can refuse to sample mid-cycle state.
+	pool     *workerPool
+	stepping bool
+
 	// OnEject is called when a packet fully leaves the network at node.
 	// The NI-level residual de/compression latency is the receiver's
 	// concern (see internal/cmp); the network only reports the event.
@@ -259,16 +266,24 @@ func (n *Network) decodeComp(c compress.Compressed) ([]byte, error) {
 	return alg.Decompress(c)
 }
 
-// Step advances the network by one cycle.
+// Step advances the network by one cycle of the two-phase engine: each
+// pipeline stage runs its compute over all busy routers (sharded across
+// the worker pool when one is set — see parallel.go), then commits the
+// staged effects serially in canonical router-index order. The stage
+// sequence matches the classic serial phase order (engines, SA+ST, VA,
+// RC, DISCO arbitration, NI injection), so results — including the trace
+// byte stream — are identical at any worker count.
 func (n *Network) Step() {
-	// Phase 0a: due credit recoveries land (fault injection only). The
-	// queue is ordered by restore cycle (constant recovery delay).
+	n.stepping = true
+	// Serial prologue: due credit recoveries land (fault injection only;
+	// the queue is ordered by restore cycle), then link arrivals land in
+	// input buffers — these are last cycle's committed effects becoming
+	// this cycle's prior state.
 	for len(n.creditRestores) > 0 && n.creditRestores[0].at <= n.Cycle {
 		n.creditRestores[0].vc.restoreCredit()
 		n.creditsHealed++
 		n.creditRestores = n.creditRestores[1:]
 	}
-	// Phase 0: link arrivals land in input buffers.
 	pend := n.pending
 	n.pending = n.pending[:0]
 	for _, a := range pend {
@@ -290,41 +305,72 @@ func (n *Network) Step() {
 	for i, r := range n.Routers {
 		busy[i] = r.busy()
 	}
-	// Phase 1: DISCO engines (commit, absorb, complete).
-	for i, r := range n.Routers {
-		if busy[i] {
-			r.stageEngine()
+	if n.pool == nil {
+		// Serial engine: the same stage sequence with direct dispatch.
+		// Compute and commit must NOT fuse per router even serially —
+		// e.g. a committed traversal shrinks a VC's occupancy, which
+		// the upstream router's SA credit check reads; fusing would let
+		// later routers see same-cycle commits that the two-phase
+		// engine (and any parallel run) orders after the barrier.
+		for i, r := range n.Routers {
+			if busy[i] {
+				r.computeEngine()
+			}
+		}
+		for i, r := range n.Routers {
+			if busy[i] {
+				r.computeSA()
+			}
+		}
+		for i, r := range n.Routers {
+			if busy[i] {
+				r.commitSA()
+			}
+		}
+		for i, r := range n.Routers {
+			if busy[i] {
+				r.computeAlloc()
+			}
+		}
+		for i, r := range n.Routers {
+			if busy[i] {
+				r.commitArb()
+			}
+		}
+	} else {
+		// Stage: DISCO engines (commit, absorb, complete) — pure
+		// compute, no shared effects beyond the staged traces.
+		n.runStage(busy, (*Router).computeEngine)
+		n.flushTraces(busy)
+		// Stage: switch allocation — compute arbitrates against
+		// prior-cycle credits, commit applies stall bookkeeping and
+		// winner traversals (flit moves, credit reservations,
+		// ejections, fault draws).
+		n.runStage(busy, (*Router).computeSA)
+		for i, r := range n.Routers {
+			if busy[i] {
+				r.commitSA()
+			}
+		}
+		// Stage: allocation-side computes (VA, RC, DISCO arbitration
+		// fused per router), then the arbitration commit (engine job
+		// starts). Alloc compute and commit do NOT fuse per router even
+		// serially: both emit traces, and fusing would interleave them
+		// differently than the staged flush.
+		n.runStage(busy, (*Router).computeAlloc)
+		n.flushTraces(busy)
+		for i, r := range n.Routers {
+			if busy[i] {
+				r.commitArb()
+			}
 		}
 	}
-	// Phase 2: switch allocation + traversal.
-	for i, r := range n.Routers {
-		if busy[i] {
-			r.stageSA()
-		}
-	}
-	// Phase 3: VC allocation.
-	for i, r := range n.Routers {
-		if busy[i] {
-			r.stageVA()
-		}
-	}
-	// Phase 4: route computation.
-	for i, r := range n.Routers {
-		if busy[i] {
-			r.stageRC()
-		}
-	}
-	// Phase 5: DISCO arbitration over this cycle's losers.
-	for i, r := range n.Routers {
-		if busy[i] {
-			r.stageDiscoArb()
-		}
-	}
-	// Phase 6: NI injection (one flit per node per cycle).
+	// Serial epilogue: NI injection (one flit per node per cycle).
 	for node := range n.ni {
 		n.stepInjection(node)
 	}
 	n.Cycle++
+	n.stepping = false
 	n.sampleMetrics()
 }
 

@@ -52,6 +52,16 @@ type Router struct {
 	saWants [NumPorts][]saWant
 	arbVCs  []*vcBuf
 	arbCand []disco.Candidate
+
+	// Staged effects of the two-phase engine (see DESIGN.md §9): the
+	// compute phase of a stage records every effect that touches shared
+	// state here; the commit phase applies them in canonical router
+	// order. All are reused scratch, reset by their commit.
+	traceBuf    []stagedTrace // compute-phase trace events (parallel only)
+	saWinners   []*vcBuf      // SA winners, in output-port order
+	saStalls    []saStall     // SA stall bookkeeping on shared Packet fields
+	arbPick     *vcBuf        // DISCO arbitration pick (engine start at commit)
+	arbPickCand disco.Candidate
 }
 
 // saWant is one switch-allocation request.
@@ -59,6 +69,15 @@ type saWant struct {
 	e    *vcBuf
 	ip   Port
 	prio int
+}
+
+// saStall records one cycle of switch-allocation stall bookkeeping. A
+// wormhole packet can be buffered in two routers at once, so these
+// increments hit fields both routers can reach — they are staged during
+// compute and applied at the serial commit.
+type saStall struct {
+	pkt         *Packet
+	engineStall bool
 }
 
 // busy reports whether the router holds or expects any flit.
@@ -146,9 +165,24 @@ func (r *Router) localContention(p Port, self *vcBuf) int {
 }
 
 // --- Pipeline stages -------------------------------------------------
+//
+// Each stage is split into a compute part (reads prior-cycle state,
+// writes only router-local state — safe to run concurrently across
+// routers) and, where the stage has shared effects, a commit part the
+// network applies serially in router-index order. computeAlloc fuses
+// VA, RC and the DISCO arbitration compute: within a router they run in
+// the classic stage order, and none of them writes state another
+// router's compute reads.
 
-// stageRC computes output ports for newly arrived heads.
-func (r *Router) stageRC() {
+// computeAlloc runs the allocation-side computes for one router.
+func (r *Router) computeAlloc() {
+	r.computeVA()
+	r.computeRC()
+	r.computeArb()
+}
+
+// computeRC computes output ports for newly arrived heads.
+func (r *Router) computeRC() {
 	for p := Port(0); p < NumPorts; p++ {
 		for _, e := range r.in[p] {
 			if e.state != vcRoute {
@@ -156,7 +190,7 @@ func (r *Router) stageRC() {
 			}
 			e.outPort = r.routeFor(e.pkt.Dst)
 			e.state = vcVA
-			r.net.trace(r.id, EvRoute, e.pkt)
+			r.trace(EvRoute, e.pkt)
 		}
 	}
 }
@@ -185,10 +219,13 @@ func (r *Router) routeFor(dst int) Port {
 	return best
 }
 
-// stageVA allocates downstream VCs: one grant per output port per cycle,
-// round-robin among requesters, atomic (a downstream VC is granted only
-// when completely free).
-func (r *Router) stageVA() {
+// computeVA allocates downstream VCs: one grant per output port per
+// cycle, round-robin among requesters, atomic (a downstream VC is
+// granted only when completely free). The grant table (outOwner) is
+// upstream-local and a downstream VC has exactly one owning upstream, so
+// the whole stage is compute-safe: it reads remote pkt/reserved fields no
+// concurrent compute writes.
+func (r *Router) computeVA() {
 	reqs := &r.vaReqs
 	for p := Port(0); p < NumPorts; p++ {
 		reqs[p] = reqs[p][:0]
@@ -237,7 +274,7 @@ func (r *Router) stageVA() {
 		win.outVC = free
 		win.state = vcActive
 		r.outOwner[p][free] = win.pkt
-		r.net.trace(r.id, EvVAGrant, win.pkt)
+		r.trace(EvVAGrant, win.pkt)
 		for _, e := range cand {
 			if e != win {
 				e.lostArb = true
@@ -294,9 +331,12 @@ func (r *Router) priority(p *Packet) int {
 	return 2
 }
 
-// stageSA arbitrates the crossbar (one flit per input port and per output
-// port) and traverses winners.
-func (r *Router) stageSA() {
+// computeSA arbitrates the crossbar (one flit per input port and per
+// output port) against prior-cycle credit state. Winners are staged (in
+// output-port order) for commitSA to traverse; stall bookkeeping on
+// shared Packet fields is staged alongside. Round-robin pointers, wait
+// counters and lostArb flags are router-local and advance in place.
+func (r *Router) computeSA() {
 	var inUsed [NumPorts]bool
 	wants := &r.saWants
 	for p := Port(0); p < NumPorts; p++ {
@@ -312,12 +352,13 @@ func (r *Router) stageSA() {
 			} else if e.state >= vcVA && e.stored > 0 {
 				// Buffered but unable to move: queueing time DISCO can use.
 				e.waitCycles++
-				e.pkt.Queueing++
+				st := saStall{pkt: e.pkt}
 				if e.lock != lockNone && r.schedulableIgnoringLock(e) {
 					// The engine lock is the only blocker: this stall
 					// cycle is exposed engine latency, not overlap.
-					e.pkt.Life.EngineStall++
+					st.engineStall = true
 				}
+				r.saStalls = append(r.saStalls, st)
 				if e.state == vcActive && e.sent < e.ready && e.lock == lockNone {
 					e.lostArb = true // blocked on credits: a contention loser too
 				}
@@ -347,7 +388,7 @@ func (r *Router) stageSA() {
 			for _, w := range cand {
 				w.e.lostArb = true
 				w.e.waitCycles++
-				w.e.pkt.Queueing++
+				r.saStalls = append(r.saStalls, saStall{pkt: w.e.pkt})
 			}
 			continue
 		}
@@ -356,13 +397,36 @@ func (r *Router) stageSA() {
 			if i != best {
 				w.e.lostArb = true
 				w.e.waitCycles++
-				w.e.pkt.Queueing++
+				r.saStalls = append(r.saStalls, saStall{pkt: w.e.pkt})
 			}
 		}
 		winner := cand[best]
 		inUsed[winner.ip] = true
-		r.traverse(winner.e)
+		r.saWinners = append(r.saWinners, winner.e)
 	}
+}
+
+// commitSA applies this router's staged switch-allocation effects: the
+// stall counters, then the winner traversals (flit moves, credit
+// reservations, ejections, fault draws) in output-port order. Called by
+// the network serially in router-index order — a winner's credit check
+// stays valid because its downstream VC has exactly one upstream owner,
+// and that owner is this traversal.
+func (r *Router) commitSA() {
+	for i := range r.saStalls {
+		st := &r.saStalls[i]
+		st.pkt.Queueing++
+		if st.engineStall {
+			st.pkt.Life.EngineStall++
+		}
+		st.pkt = nil
+	}
+	r.saStalls = r.saStalls[:0]
+	for i, e := range r.saWinners {
+		r.traverse(e)
+		r.saWinners[i] = nil
+	}
+	r.saWinners = r.saWinners[:0]
 }
 
 // traverse moves one flit of e's packet through the crossbar.
@@ -430,9 +494,15 @@ func (r *Router) traverse(e *vcBuf) {
 
 // --- DISCO stages ------------------------------------------------------
 
-// stageEngine advances the router's DISCO engine: commits pending jobs,
-// absorbs newly arrived fragments, applies finished transforms.
-func (r *Router) stageEngine() {
+// computeEngine advances the router's DISCO engine: commits pending
+// jobs, absorbs newly arrived fragments, applies finished transforms.
+// Everything it touches is exclusive to this router — its engine, its
+// VCs, and the engine job's packet (at most one engine holds a packet at
+// a time) — so the whole stage is compute-safe; under the parallel
+// engine its trace events are staged and flushed in canonical order. The shared fault oracle is NOT
+// consulted here: engine faults are drawn at job start (commitArb), and
+// Engine.Tick is oracle-free by construction.
+func (r *Router) computeEngine() {
 	if r.engine == nil {
 		return
 	}
@@ -462,7 +532,7 @@ func (r *Router) stageEngine() {
 			if e != nil {
 				pkt = e.pkt
 			}
-			r.net.trace(r.id, EvEngineFault, pkt)
+			r.trace(EvEngineFault, pkt)
 			r.noteEngineFault()
 			if e != nil {
 				e.abortJob()
@@ -475,7 +545,6 @@ func (r *Router) stageEngine() {
 		switch {
 		case done.State == disco.JobDone && done.Kind == disco.JobCompress:
 			r.breakerConsec = 0
-			r.net.trace(r.id, EvEngineDone, e.pkt)
 			res := done.Result()
 			if newFlits := flitsFor(res.SizeBytes()); newFlits >= e.pkt.FlitCount ||
 				newFlits > r.net.cfg.BufDepth {
@@ -483,11 +552,13 @@ func (r *Router) stageEngine() {
 				// as incompressible.
 				e.pkt.CompressionFailed = true
 				e.abortJob()
+				r.trace(EvEngineDone, e.pkt)
 				return
 			}
 			e.pkt.ApplyCompression(res)
 			e.pkt.Conversions++
 			e.restockCompressed(e.pkt.FlitCount)
+			r.trace(EvEngineDone, e.pkt)
 		case done.State == disco.JobDone && done.Kind == disco.JobDecompress:
 			r.breakerConsec = 0
 			if r.net.fault != nil && !bytes.Equal(done.Block(), e.pkt.Block) {
@@ -497,19 +568,19 @@ func (r *Router) stageEngine() {
 				r.recoverCorrupt(e)
 				return
 			}
-			r.net.trace(r.id, EvEngineDone, e.pkt)
 			e.pkt.ApplyDecompression(done.Block())
 			e.pkt.Conversions++
 			e.restockDecompressed(e.pkt.FlitCount)
+			r.trace(EvEngineDone, e.pkt)
 		case done.Kind == disco.JobDecompress && r.net.fault != nil:
 			// Decode error (compress.ErrCorrupt) under fault injection: an
 			// in-flight bit-flip was detected. Deliver the retained
 			// uncompressed original instead of the corrupt encoding.
 			r.recoverCorrupt(e)
 		default: // aborted (incompressible content)
-			r.net.trace(r.id, EvEngineFail, e.pkt)
 			e.pkt.CompressionFailed = true
 			e.abortJob()
+			r.trace(EvEngineFail, e.pkt)
 		}
 		return
 	}
@@ -524,7 +595,7 @@ func (r *Router) stageEngine() {
 	// freed (Section 3.2 step 3 / 3.3A separate compression).
 	if job.State == disco.JobCommitted && e.lock == lockPending {
 		e.commitJob(job.Kind == disco.JobCompress)
-		r.net.trace(r.id, EvEngineCommit, e.pkt)
+		r.trace(EvEngineCommit, e.pkt)
 	}
 	// Feed fragments that arrived since the last service.
 	if job.Kind == disco.JobCompress && e.lock == lockCommitted {
@@ -536,10 +607,13 @@ func (r *Router) stageEngine() {
 	}
 }
 
-// stageDiscoArb runs the DISCO arbitrator (Fig. 3): gather this cycle's
-// VA/SA losers, score them with the confidence counter, start the engine
-// on the best candidate.
-func (r *Router) stageDiscoArb() {
+// computeArb runs the DISCO arbitrator (Fig. 3): gather this cycle's
+// VA/SA losers, score them with the confidence counter, and stage the
+// best candidate. Candidate scoring (SelectCandidateAt, Thresholds,
+// Confidence) is pure and the occupancy reads see only prior-cycle
+// state, so the whole selection is compute-safe; the engine start is
+// deferred to commitArb because it draws from the shared fault oracle.
+func (r *Router) computeArb() {
 	cfg := r.net.cfg.Disco
 	if cfg == nil {
 		return
@@ -554,7 +628,7 @@ func (r *Router) stageDiscoArb() {
 		}
 		r.breakerOpen = false
 		r.breakerConsec = 0
-		r.net.trace(r.id, EvBreakerArm, nil)
+		r.trace(EvBreakerArm, nil)
 	}
 	engineFree := !r.engine.Busy()
 	r.arbVCs = r.arbVCs[:0]
@@ -615,10 +689,22 @@ func (r *Router) stageDiscoArb() {
 	if pick < 0 {
 		return
 	}
-	sel := r.arbVCs[pick]
-	selCand := r.arbCand[pick]
+	r.arbPick = r.arbVCs[pick]
+	r.arbPickCand = r.arbCand[pick]
+}
+
+// commitArb starts the engine on the candidate computeArb staged. This
+// is the commit half of the arbitration stage: StartCompress /
+// StartDecompress draw from the shared fault-injection PRNG, so job
+// starts must happen serially in canonical router order.
+func (r *Router) commitArb() {
+	sel := r.arbPick
+	if sel == nil {
+		return
+	}
+	r.arbPick = nil
 	pkt := sel.pkt
-	if selCand.Decompress {
+	if r.arbPickCand.Decompress {
 		r.engine.StartDecompress(pkt.ID, pkt.Comp, r.net.Cycle)
 		sel.beginShadowJob(0)
 	} else {
@@ -646,7 +732,7 @@ func (r *Router) noteEngineFault() {
 		r.breakerOpen = true
 		r.breakerOpenUntil = r.net.Cycle + spec.BreakerCooldown
 		r.breakerTrips++
-		r.net.trace(r.id, EvBreakerTrip, nil)
+		r.trace(EvBreakerTrip, nil)
 	}
 }
 
@@ -657,10 +743,10 @@ func (r *Router) noteEngineFault() {
 // delivered instead, so corruption is never propagated.
 func (r *Router) recoverCorrupt(e *vcBuf) {
 	r.faultRecoveries++
-	r.net.trace(r.id, EvFaultRecover, e.pkt)
 	e.pkt.ApplyDecompression(e.pkt.Block)
 	e.pkt.Conversions++
 	e.restockDecompressed(e.pkt.FlitCount)
+	r.trace(EvFaultRecover, e.pkt)
 }
 
 // Engine exposes the router's DISCO engine for diagnostics (nil when
