@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet fmt test race test-race-parallel cover fuzz-smoke chaos-smoke bench-snapshot bench-compare ci
+.PHONY: all build lint lint-baseline vet fmt test race test-race-parallel cover fuzz-smoke chaos-smoke bench-snapshot bench-compare ci
 
 all: build lint test
 
@@ -8,9 +8,15 @@ build:
 	$(GO) build ./...
 
 # discolint is the repo's own static-analysis suite (internal/lint):
-# determinism and conservation invariants. Zero findings is the gate.
+# determinism, conservation, phase-safety and hot-path allocation
+# invariants. Only findings beyond the committed baseline fail the gate.
 lint: vet fmt
-	$(GO) run ./cmd/discolint ./...
+	$(GO) run ./cmd/discolint -baseline lint-baseline.json ./...
+
+# Regenerate the committed baseline from a fresh sweep. Guarded by
+# TestBaselineMatchesSweep: a hand-edited or stale baseline fails CI.
+lint-baseline:
+	$(GO) run ./cmd/discolint -baseline lint-baseline.json -write-baseline ./...
 
 vet:
 	$(GO) vet ./...

@@ -1,78 +1,177 @@
 // Command discolint runs the repo's custom static-analysis suite (see
 // internal/lint) over the module:
 //
-//	go run ./cmd/discolint ./...          # whole repo (CI invocation)
-//	go run ./cmd/discolint ./internal/noc # one package
-//	go run ./cmd/discolint -list          # analyzer inventory
+//	go run ./cmd/discolint ./...                        # whole repo
+//	go run ./cmd/discolint -baseline lint-baseline.json ./...  # CI gate
+//	go run ./cmd/discolint -sarif out.sarif ./...       # SARIF artifact
+//	go run ./cmd/discolint ./internal/noc               # one package
+//	go run ./cmd/discolint -list                        # inventory
 //
-// Exit status is 1 when any finding is reported, 2 on usage or load
-// errors.
+// Exit status: 0 clean, 1 when any (non-baselined) finding is reported,
+// 2 on usage, load, or type-check failures — so CI can tell "the code
+// has findings" from "the tool could not analyze the code".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/types"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/disco-sim/disco/internal/lint"
 )
 
+// Exit codes.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injected streams and an exit code, so the exit-code
+// contract is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("discolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list   = flag.Bool("list", false, "list analyzers and exit")
-		only   = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
-		strict = flag.Bool("type-errors", false, "also fail on type-check errors in analyzed packages")
+		list          = fs.Bool("list", false, "list analyzers and exit")
+		only          = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		strict        = fs.Bool("type-errors", false, "also fail (exit 2) on type-check errors in analyzed packages")
+		sarifPath     = fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file")
+		baselinePath  = fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+		writeBaseline = fs.Bool("write-baseline", false, "regenerate the -baseline file from this run's findings instead of failing")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+			fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
 		}
-		return
+		return exitClean
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fprintln(stderr, "discolint: -write-baseline requires -baseline")
+		return exitError
 	}
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "discolint:", err)
-		os.Exit(2)
+		fprintln(stderr, "discolint:", err)
+		return exitError
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "discolint:", err)
-		os.Exit(2)
+		fprintln(stderr, "discolint:", err)
+		return exitError
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "discolint:", err)
-		os.Exit(2)
+		fprintln(stderr, "discolint:", err)
+		return exitError
 	}
-	pkgs, err := loader.LoadPatterns(flag.Args())
+	pkgs, err := loader.LoadPatterns(fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "discolint:", err)
-		os.Exit(2)
+		fprintln(stderr, "discolint:", err)
+		return exitError
 	}
-	findings := 0
+
+	var diags []lint.Diagnostic
+	typeErrors := 0
 	for _, pkg := range pkgs {
 		if *strict {
 			for _, terr := range pkg.TypeErrors {
-				findings++
-				fmt.Fprintf(os.Stderr, "%v (type error)\n", terr)
+				typeErrors++
+				fprintf(stderr, "%s (type error)\n", formatTypeError(terr, pkg))
 			}
 		}
-		diags, err := lint.Run(pkg, analyzers)
+		pkgDiags, err := lint.Run(pkg, analyzers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "discolint:", err)
-			os.Exit(2)
+			fprintln(stderr, "discolint:", err)
+			return exitError
 		}
-		for _, d := range diags {
-			findings++
-			fmt.Fprintln(os.Stderr, d)
+		diags = append(diags, pkgDiags...)
+	}
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fprintln(stderr, "discolint:", err)
+			return exitError
+		}
+		werr := lint.WriteSARIF(f, analyzers, diags, loader.ModuleDir)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fprintln(stderr, "discolint: write sarif:", werr)
+			return exitError
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "discolint: %d finding(s)\n", findings)
-		os.Exit(1)
+
+	if *writeBaseline {
+		base := lint.NewBaseline(diags, loader.ModuleDir)
+		if err := base.WriteFile(*baselinePath); err != nil {
+			fprintln(stderr, "discolint: write baseline:", err)
+			return exitError
+		}
+		fprintf(stderr, "discolint: wrote %d finding class(es) to %s\n", len(base.Findings), *baselinePath)
+		return exitClean
 	}
+
+	report := diags
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fprintln(stderr, "discolint:", err)
+			return exitError
+		}
+		report = base.FilterNew(diags, loader.ModuleDir)
+	}
+	for _, d := range report {
+		fprintln(stderr, d)
+	}
+
+	switch {
+	case typeErrors > 0:
+		fprintf(stderr, "discolint: %d type error(s)\n", typeErrors)
+		return exitError
+	case len(report) > 0:
+		if *baselinePath != "" {
+			fprintf(stderr, "discolint: %d new finding(s) beyond baseline\n", len(report))
+		} else {
+			fprintf(stderr, "discolint: %d finding(s)\n", len(report))
+		}
+		return exitFindings
+	}
+	return exitClean
+}
+
+// fprintf and fprintln write console output to the injected streams;
+// the write error is discarded explicitly — diagnostics are best-effort
+// (this is the errchecksim-sanctioned form of console logging to a
+// non-literal writer).
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func fprintln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
+}
+
+// formatTypeError renders a type-check error with its file:line:col
+// position; errors without position info fall back to the package path
+// so the output is never just an opaque message.
+func formatTypeError(err error, pkg *lint.Package) string {
+	if te, ok := err.(types.Error); ok && te.Fset != nil {
+		return fmt.Sprintf("%s: %s", te.Fset.Position(te.Pos), te.Msg)
+	}
+	return fmt.Sprintf("%s: %v", pkg.Path, err)
 }
 
 // selectAnalyzers resolves the -analyzers flag.

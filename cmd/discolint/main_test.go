@@ -1,6 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/disco-sim/disco/internal/lint"
@@ -30,6 +35,188 @@ func TestRepoIsClean(t *testing.T) {
 		for _, d := range diags {
 			t.Errorf("%s", d)
 		}
+	}
+}
+
+// TestBaselineMatchesSweep guards the committed baseline file: it must
+// equal a fresh full-module sweep, so fixed findings cannot linger as
+// stale entries (and new findings cannot hide behind a hand-edited
+// baseline). Regenerate with `make lint-baseline` after justified
+// changes.
+func TestBaselineMatchesSweep(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		pkgDiags, err := lint.Run(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("Run(%s): %v", pkg.Path, err)
+		}
+		diags = append(diags, pkgDiags...)
+	}
+	fresh := lint.NewBaseline(diags, loader.ModuleDir)
+	committed, err := lint.LoadBaseline(filepath.Join(loader.ModuleDir, "lint-baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if !committed.Equal(fresh) {
+		t.Errorf("committed lint-baseline.json does not match a fresh sweep (%d committed vs %d fresh classes); regenerate with `make lint-baseline`",
+			len(committed.Findings), len(fresh.Findings))
+	}
+}
+
+// writeTempModule lays out a throwaway single-package module for the
+// exit-code tests and chdirs into it.
+func writeTempModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"tmp.go": src,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	return dir
+}
+
+const cleanSrc = `package p
+
+func Add(a, b int) int { return a + b }
+`
+
+// droppedErrSrc trips errchecksim (the only unscoped analyzer) exactly
+// once: f's error result is dropped in a bare statement.
+const droppedErrSrc = `package p
+
+import "os"
+
+func f() error {
+	_, err := os.Getwd()
+	return err
+}
+
+func g() { f() }
+`
+
+func TestExitCodeClean(t *testing.T) {
+	writeTempModule(t, cleanSrc)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != exitClean {
+		t.Errorf("clean module: exit %d, want %d (stderr: %s)", code, exitClean, errb.String())
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	writeTempModule(t, droppedErrSrc)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != exitFindings {
+		t.Errorf("module with finding: exit %d, want %d", code, exitFindings)
+	}
+	if !strings.Contains(errb.String(), "errchecksim") {
+		t.Errorf("stderr does not name the analyzer: %s", errb.String())
+	}
+}
+
+func TestExitCodeTypeErrors(t *testing.T) {
+	writeTempModule(t, "package p\n\nfunc f() int { return \"x\" }\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-type-errors", "./..."}, &out, &errb); code != exitError {
+		t.Errorf("-type-errors on broken module: exit %d, want %d", code, exitError)
+	}
+	// The contract of satellite 2: positions, not opaque messages.
+	if !strings.Contains(errb.String(), "tmp.go:3:") {
+		t.Errorf("type error lacks file:line position: %s", errb.String())
+	}
+}
+
+func TestExitCodeLoadFailure(t *testing.T) {
+	writeTempModule(t, cleanSrc)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errb); code != exitError {
+		t.Errorf("unloadable pattern: exit %d, want %d", code, exitError)
+	}
+	if code := run([]string{"-write-baseline", "./..."}, &out, &errb); code != exitError {
+		t.Errorf("-write-baseline without -baseline: exit %d, want %d", code, exitError)
+	}
+}
+
+// TestBaselineWorkflow pins the CI loop: record the known findings with
+// -write-baseline, then a rerun against that baseline is clean, and a
+// NEW finding still fails.
+func TestBaselineWorkflow(t *testing.T) {
+	dir := writeTempModule(t, droppedErrSrc)
+	base := filepath.Join(dir, "base.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", base, "-write-baseline", "./..."}, &out, &errb); code != exitClean {
+		t.Fatalf("-write-baseline: exit %d (stderr: %s)", code, errb.String())
+	}
+	if code := run([]string{"-baseline", base, "./..."}, &out, &errb); code != exitClean {
+		t.Errorf("baselined rerun: exit %d, want %d (stderr: %s)", code, exitClean, errb.String())
+	}
+	// A second dropped error is a new finding beyond the baseline.
+	src := droppedErrSrc + "\nfunc h() { f() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "tmp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"-baseline", base, "./..."}, &out, &errb); code != exitFindings {
+		t.Errorf("new finding beyond baseline: exit %d, want %d", code, exitFindings)
+	}
+	if !strings.Contains(errb.String(), "beyond baseline") {
+		t.Errorf("stderr does not report the new-findings summary: %s", errb.String())
+	}
+}
+
+// TestSARIFOutput checks the -sarif artifact: schema-versioned, one
+// result per finding, module-relative URI.
+func TestSARIFOutput(t *testing.T) {
+	dir := writeTempModule(t, droppedErrSrc)
+	sarif := filepath.Join(dir, "out.sarif")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sarif", sarif, "./..."}, &out, &errb); code != exitFindings {
+		t.Fatalf("run: exit %d", code)
+	}
+	data, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatalf("read sarif: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("parse sarif: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("bad sarif shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	results := log.Runs[0].Results
+	if len(results) != 1 || results[0].RuleID != "errchecksim" {
+		t.Fatalf("sarif results = %+v, want one errchecksim result", results)
+	}
+	if uri := results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "tmp.go" {
+		t.Errorf("artifact URI = %q, want module-relative %q", uri, "tmp.go")
 	}
 }
 

@@ -122,9 +122,14 @@ func bdiTry(alg string, block []byte, g bdiEncoding) (Compressed, bool) {
 			break
 		}
 	}
-	// Pass 2: encode deltas and the base-select mask.
-	mask := make([]byte, (n+7)/8)
-	deltas := make([]byte, 0, n*g.deltaByts)
+	// Pass 2: encode deltas and the base-select mask. Both are bounded by
+	// the block geometry (n <= BlockSize/2 elements, len(deltas) <
+	// BlockSize), so fixed-size backing arrays keep the scratch off the
+	// heap; only the returned payload is allocated.
+	var maskArr [BlockSize / 8]byte
+	var deltaArr [BlockSize]byte
+	mask := maskArr[:(n+7)/8]
+	deltas := deltaArr[:0]
 	for i := 0; i < n; i++ {
 		e := bdiElement(block, g.baseBytes, i)
 		se := signExtendWidth(e, g.baseBytes)

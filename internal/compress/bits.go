@@ -24,6 +24,7 @@ func (w *bitWriter) writeBits(v uint64, n int) {
 	// partial byte, whole bytes, and a leading partial byte.
 	need := (w.nbit + n + 7) / 8
 	for len(w.buf) < need {
+		//lint:ignore hotalloc every constructor preallocates buf to the worst-case BlockSize+8 capacity, so this append only extends length within it
 		w.buf = append(w.buf, 0)
 	}
 	if rem := w.nbit % 8; rem != 0 {

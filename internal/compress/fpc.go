@@ -134,7 +134,13 @@ func (a *FPC) Decompress(c Compressed) ([]byte, error) {
 			}
 			words += n
 		case fpcSE4, fpcSE8, fpcSE16:
-			width := map[uint64]int{fpcSE4: 4, fpcSE8: 8, fpcSE16: 16}[prefix]
+			width := 4
+			switch prefix {
+			case fpcSE8:
+				width = 8
+			case fpcSE16:
+				width = 16
+			}
 			v, ok := r.readBits(width)
 			if !ok {
 				return nil, ErrCorrupt

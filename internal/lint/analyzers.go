@@ -8,5 +8,8 @@ func All() []*Analyzer {
 		FlitConserve,
 		ErrcheckSim,
 		StatWidth,
+		PhaseSafety,
+		HotAlloc,
+		LintIgnore,
 	}
 }

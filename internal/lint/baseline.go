@@ -1,0 +1,134 @@
+package lint
+
+// Baseline support: a committed inventory of known findings so CI can
+// fail only on NEW findings while the repo is being swept. Entries are
+// keyed by (analyzer, module-relative file, message) with an occurrence
+// count — line numbers are deliberately excluded so unrelated edits
+// above a known finding do not churn the baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the committed findings inventory (lint-baseline.json).
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one known finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is module-relative and slash-separated, so the baseline is
+	// portable across checkouts.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// key identifies a finding class within the baseline maps.
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// baselineRel maps a diagnostic's absolute filename to the baseline's
+// module-relative form.
+func baselineRel(moduleDir, filename string) string {
+	if rel, err := filepath.Rel(moduleDir, filename); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// NewBaseline aggregates diags into a canonical (sorted, counted)
+// baseline.
+func NewBaseline(diags []Diagnostic, moduleDir string) *Baseline {
+	counts := make(map[string]*BaselineEntry)
+	for _, d := range diags {
+		e := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     baselineRel(moduleDir, d.Pos.Filename),
+			Message:  d.Message,
+		}
+		k := e.key()
+		if have, ok := counts[k]; ok {
+			have.Count++
+			continue
+		}
+		e.Count = 1
+		counts[k] = &e
+	}
+	b := &Baseline{Version: 1, Findings: make([]BaselineEntry, 0, len(counts))}
+	for _, e := range counts {
+		b.Findings = append(b.Findings, *e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	return b
+}
+
+// LoadBaseline reads a committed baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parse baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// WriteFile writes the baseline in its canonical form.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FilterNew returns the diags not covered by the baseline: for each
+// finding class, occurrences beyond the baselined count are new.
+func (b *Baseline) FilterNew(diags []Diagnostic, moduleDir string) []Diagnostic {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[e.key()] += e.Count
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     baselineRel(moduleDir, d.Pos.Filename),
+			Message:  d.Message,
+		}.key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Equal reports whether two baselines cover the identical finding set
+// (the lint-baseline guard test: the committed file must match a fresh
+// sweep, so fixed findings cannot linger as stale entries).
+func (b *Baseline) Equal(other *Baseline) bool {
+	if len(b.Findings) != len(other.Findings) {
+		return false
+	}
+	for i := range b.Findings {
+		if b.Findings[i] != other.Findings[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -11,10 +11,16 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"testing"
 )
 
-var wantRe = regexp.MustCompile(`//\s*want\s+"([^"]*)"`)
+// wantRe matches want comments. The optional signed offset re-anchors
+// the expectation to another line: `// want-2 "x"` expects the finding
+// two lines above. lintignore findings sit on the directive's own line,
+// where a trailing comment would become part of the parsed reason, so
+// their wants must live elsewhere.
+var wantRe = regexp.MustCompile(`//\s*want([+-]\d+)?\s+"([^"]*)"`)
 
 type expectation struct {
 	file string // base name
@@ -45,11 +51,18 @@ func parseExpectations(t *testing.T, dir string) []*expectation {
 			if m == nil {
 				continue
 			}
-			re, err := regexp.Compile(m[1])
+			re, err := regexp.Compile(m[2])
 			if err != nil {
-				t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), line, m[1], err)
+				t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), line, m[2], err)
 			}
-			wants = append(wants, &expectation{file: e.Name(), line: line, re: re})
+			offset := 0
+			if m[1] != "" {
+				offset, err = strconv.Atoi(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want offset %q: %v", e.Name(), line, m[1], err)
+				}
+			}
+			wants = append(wants, &expectation{file: e.Name(), line: line + offset, re: re})
 		}
 		if err := sc.Err(); err != nil {
 			t.Fatalf("scan fixture: %v", err)
@@ -85,9 +98,16 @@ func loadFixture(t *testing.T, fixture, pkgPath string) *Package {
 // want comments.
 func runFixture(t *testing.T, a *Analyzer, fixture, pkgPath string) {
 	t.Helper()
+	runFixtureSuite(t, []*Analyzer{a}, fixture, pkgPath)
+}
+
+// runFixtureSuite is runFixture for several analyzers run together (the
+// lintignore auditor needs the other analyzers' raw findings).
+func runFixtureSuite(t *testing.T, as []*Analyzer, fixture, pkgPath string) {
+	t.Helper()
 	pkg := loadFixture(t, fixture, pkgPath)
 	wants := parseExpectations(t, pkg.Dir)
-	diags, err := Run(pkg, []*Analyzer{a})
+	diags, err := Run(pkg, as)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -109,7 +129,7 @@ func runFixture(t *testing.T, a *Analyzer, fixture, pkgPath string) {
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, a.Name, w.re)
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
 		}
 	}
 }
@@ -132,6 +152,20 @@ func TestErrcheckSimFixture(t *testing.T) {
 
 func TestStatWidthFixture(t *testing.T) {
 	runFixture(t, StatWidth, "statwidth", "fixturemod/internal/stats")
+}
+
+func TestPhaseSafetyFixture(t *testing.T) {
+	runFixture(t, PhaseSafety, "phasesafety", "fixturemod/internal/noc")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, HotAlloc, "hotalloc", "fixturemod/internal/noc")
+}
+
+// TestLintIgnoreFixture runs the auditor together with nodeterminism so
+// used/stale verdicts are grounded in a real analyzer's findings.
+func TestLintIgnoreFixture(t *testing.T) {
+	runFixtureSuite(t, []*Analyzer{NoDeterminism, LintIgnore}, "lintignore", "fixturemod/internal/noc")
 }
 
 // TestIgnoreDirective pins the suppression syntax: both same-line and
@@ -157,7 +191,10 @@ func TestMatchScoping(t *testing.T) {
 // TestAllInventory pins the analyzer suite: a rename or omission here
 // breaks CI wiring and the README docs.
 func TestAllInventory(t *testing.T) {
-	want := []string{"nodeterminism", "creditaccess", "flitconserve", "errchecksim", "statwidth"}
+	want := []string{
+		"nodeterminism", "creditaccess", "flitconserve", "errchecksim",
+		"statwidth", "phasesafety", "hotalloc", "lintignore",
+	}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces the zero-alloc hot-path goal (ROADMAP item 2)
+// interprocedurally: no heap allocation may be reachable from the
+// per-cycle and per-block entry points, because a single allocation in
+// NoCStep or a codec multiplies by millions of cycles/blocks per run.
+//
+// Per-package roots (the call graph does not cross packages; each
+// package's contract is rooted at its own entry points):
+//
+//	internal/noc       (*Network).Step       — the cycle loop
+//	internal/disco     (*Engine).Tick        — per-cycle engine service
+//	internal/compress  Compress / Decompress — the codec block paths
+//
+// Exemptions, in order of preference when fixing a finding:
+//
+//   - recycled scratch: appends into a slot that is reset with
+//     `s = s[:0]` anywhere in the package amortize to zero in steady
+//     state (the staged-effect idiom of internal/noc);
+//   - escaping results: an allocation bound to a returned value is the
+//     function's product, not scratch — codec output buffers must be
+//     fresh because payloads are retained by packets and caches;
+//   - init paths: traversal is pruned at functions named new*/New*/
+//     init*/Init* — construction may allocate, cycles may not.
+//
+// Anything else needs a justified //lint:ignore hotalloc (recorded in
+// CHANGES.md), e.g. a one-time lazy init or a fault-injection-only path.
+var HotAlloc = &Analyzer{
+	Name:  "hotalloc",
+	Doc:   "no heap allocation reachable from the cycle loop or codec entry points (recycled scratch, escaping results and init paths exempt)",
+	Match: isHotPathPkg,
+	Run:   runHotAlloc,
+}
+
+// isHotPathPkg restricts hotalloc to the packages holding hot-path roots.
+func isHotPathPkg(path string) bool {
+	for _, sub := range []string{"internal/noc", "internal/disco", "internal/compress"} {
+		if strings.HasSuffix(path, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotAllocRoots resolves the hot-path entry points of the package under
+// analysis.
+func hotAllocRoots(pass *Pass, pf *pkgFacts) []*types.Func {
+	switch {
+	case strings.HasSuffix(pass.PkgPath, "internal/noc"):
+		return pf.rootsNamed("Network", func(name string) bool { return name == "Step" })
+	case strings.HasSuffix(pass.PkgPath, "internal/disco"):
+		return pf.rootsNamed("Engine", func(name string) bool { return name == "Tick" })
+	case strings.HasSuffix(pass.PkgPath, "internal/compress"):
+		return pf.rootsNamed("", func(name string) bool {
+			return name == "Compress" || name == "Decompress"
+		})
+	}
+	return nil
+}
+
+// isInitPath reports whether fn is an allowlisted construction/setup
+// function: allocation is its job, and the cycle loop only reaches it
+// through explicit reconfiguration, not steady-state stepping.
+func isInitPath(fn *types.Func) bool {
+	name := fn.Name()
+	return hasPrefixFold(name, "new") || hasPrefixFold(name, "init")
+}
+
+func runHotAlloc(pass *Pass) error {
+	pf := pass.facts()
+	roots := hotAllocRoots(pass, pf)
+	if len(roots) == 0 {
+		return nil
+	}
+	for _, ff := range pf.orderedReachable(roots, isInitPath) {
+		where := funcDisplayName(ff.fn)
+		for _, a := range ff.allocs {
+			if a.recycled || a.escapes {
+				continue
+			}
+			pass.Reportf(a.pos, "heap allocation on the hot path (%s: %s in %s); hoist it to an init path, recycle scratch with s = s[:0], or justify with //lint:ignore hotalloc",
+				a.kind, a.desc, where)
+		}
+	}
+	return nil
+}

@@ -60,6 +60,8 @@ type Pass struct {
 	// impersonate a sim-core package).
 	PkgPath string
 
+	// pkg backs the interprocedural fact cache (see callgraph.go).
+	pkg   *Package
 	diags *[]Diagnostic
 }
 
@@ -92,14 +94,69 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return nil
 }
 
-// ignoreRe matches suppression directives.
-var ignoreRe = regexp.MustCompile(`//lint:ignore\s+(\S+)\s+\S`)
+// ignoreRe matches suppression directives: the comment must START with
+// the marker (prose that merely mentions //lint:ignore, like this
+// sentence, is not a directive). Everything after the marker is parsed
+// by newDirective so malformed directives (missing name or reason) can
+// be audited instead of silently ignored.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\b(.*)`)
+
+// directive is one parsed //lint:ignore comment. The lintignore analyzer
+// audits the whole set after a run: unknown analyzer names, missing
+// reasons, and directives that suppressed nothing are findings.
+type directive struct {
+	pos    token.Position
+	name   string // analyzer name or "all"; "" when missing
+	reason string
+	used   bool // suppressed at least one finding this run
+}
+
+// newDirective parses the text after "//lint:ignore".
+func newDirective(pos token.Position, rest string) *directive {
+	d := &directive{pos: pos}
+	fields := strings.Fields(rest)
+	if len(fields) > 0 {
+		d.name = fields[0]
+		d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	}
+	return d
+}
+
+// parseDirectives collects every suppression directive of the package in
+// source order.
+func parseDirectives(pkg *Package) []*directive {
+	var dirs []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				dirs = append(dirs, newDirective(pkg.Fset.Position(c.Pos()), m[1]))
+			}
+		}
+	}
+	return dirs
+}
 
 // Run executes the analyzers over pkg and returns the surviving
-// (non-suppressed) findings sorted by position.
+// (non-suppressed) findings sorted by position. The lintignore analyzer
+// is special: it runs last, over the directive set and the raw findings
+// of this run, so it can tell which suppressions actually fired.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	var auditor *Analyzer
+	ran := make(map[string]bool)
 	for _, a := range analyzers {
+		if a.Name == ignoreAuditorName {
+			auditor = a
+			continue
+		}
+		// An analyzer counts as "ran" even when Match filters it out of
+		// this package: it then trivially produced no findings here, so a
+		// directive naming it is provably stale.
+		ran[a.Name] = true
 		if a.Match != nil && !a.Match(pkg.Path) {
 			continue
 		}
@@ -110,13 +167,19 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			PkgPath:  pkg.Path,
+			pkg:      pkg,
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
 	}
-	diags = filterIgnored(pkg, diags)
+	dirs := parseDirectives(pkg)
+	diags = filterIgnored(diags, dirs)
+	if auditor != nil && (auditor.Match == nil || auditor.Match(pkg.Path)) {
+		audit := auditDirectives(dirs, ran)
+		diags = append(diags, filterIgnored(audit, dirs)...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -131,37 +194,27 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 }
 
 // filterIgnored drops findings covered by a //lint:ignore directive on
-// the same line or the line directly above.
-func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// ignored["file:line"] holds the analyzer names suppressed there.
-	ignored := make(map[string][]string)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := fmt.Sprintf("%s:%d", pos.Filename, line)
-					ignored[key] = append(ignored[key], m[1])
-				}
-			}
-		}
-	}
-	if len(ignored) == 0 {
+// the same line or the line directly above, marking fired directives as
+// used for the lintignore audit.
+func filterIgnored(diags []Diagnostic, dirs []*directive) []Diagnostic {
+	if len(dirs) == 0 {
 		return diags
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		drop := false
-		for _, name := range ignored[key] {
-			if name == d.Analyzer || name == "all" {
-				drop = true
-				break
+		for _, dir := range dirs {
+			if dir.name != d.Analyzer && dir.name != "all" {
+				continue
 			}
+			if dir.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if dir.pos.Line != d.Pos.Line && dir.pos.Line+1 != d.Pos.Line {
+				continue
+			}
+			dir.used = true
+			drop = true
 		}
 		if !drop {
 			kept = append(kept, d)

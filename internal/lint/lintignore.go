@@ -1,0 +1,76 @@
+package lint
+
+import "fmt"
+
+// ignoreAuditorName is the lintignore analyzer's name; Run special-cases
+// it because the audit needs the whole run's raw findings, not one
+// package pass.
+const ignoreAuditorName = "lintignore"
+
+// LintIgnore audits the //lint:ignore suppression directives themselves.
+// Suppressions are the escape hatch of every other analyzer, so they rot
+// in exactly the ways nothing else checks: the analyzer they name gets
+// renamed, the justification is omitted, or the flagged code is deleted
+// and the directive keeps suppressing nothing. Each of those is a
+// finding:
+//
+//   - a directive with no analyzer name, or naming an analyzer outside
+//     the suite inventory (typos silently suppress nothing);
+//   - a directive with no reason — every suppression must carry its
+//     justification inline (and be recorded in CHANGES.md);
+//   - a directive that suppressed no finding during this run, provided
+//     the named analyzer actually ran (with -analyzers subsets the
+//     verdict would be unsound, so it is skipped).
+//
+// The analyzer has no Run of its own: lint.Run executes the audit last,
+// against the directive set and the pre-suppression findings of the
+// other analyzers.
+var LintIgnore = &Analyzer{
+	Name: ignoreAuditorName,
+	Doc:  "audit //lint:ignore directives: unknown analyzer names, missing reasons, stale suppressions",
+	Run:  func(*Pass) error { return nil }, // special-cased in Run
+}
+
+// auditDirectives produces the lintignore findings for one package run.
+// ran holds the names of the analyzers that participated (Match filtered
+// or not — an analyzer scoped away from this package trivially produced
+// no findings here, so a directive naming it is provably stale).
+func auditDirectives(dirs []*directive, ran map[string]bool) []Diagnostic {
+	known := make(map[string]bool)
+	allRan := true
+	for _, a := range All() {
+		known[a.Name] = true
+		if a.Name != ignoreAuditorName && !ran[a.Name] {
+			allRan = false
+		}
+	}
+	var out []Diagnostic
+	report := func(d *directive, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: ignoreAuditorName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range dirs {
+		if d.name == "" {
+			report(d, "//lint:ignore directive is missing an analyzer name")
+			continue
+		}
+		if d.name != "all" && !known[d.name] {
+			report(d, "//lint:ignore names unknown analyzer %q (inventory: go run ./cmd/discolint -list)", d.name)
+			continue
+		}
+		if d.reason == "" {
+			report(d, "//lint:ignore %s has no reason; every suppression must carry its justification", d.name)
+		}
+		if d.used || d.name == ignoreAuditorName {
+			continue
+		}
+		// Stale-directive verdicts need the named analyzer to have run.
+		if (d.name == "all" && allRan) || (d.name != "all" && ran[d.name]) {
+			report(d, "//lint:ignore %s suppresses nothing; remove the stale directive", d.name)
+		}
+	}
+	return out
+}

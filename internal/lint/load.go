@@ -28,6 +28,11 @@ type Package struct {
 	// TypeErrors collects type-checker complaints that did not prevent
 	// analysis (analyzers run best-effort on partially broken packages).
 	TypeErrors []error
+
+	// facts caches the interprocedural analysis of this package so the
+	// call graph is built once per package, not once per analyzer (see
+	// callgraph.go).
+	facts *pkgFacts
 }
 
 // Loader resolves and type-checks packages of one module plus their

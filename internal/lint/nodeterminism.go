@@ -16,7 +16,13 @@ import (
 //     *rand.Rand;
 //   - no map iteration that feeds output or order-dependent
 //     accumulation — identical seeds must give byte-identical traces
-//     and stats.
+//     and stats;
+//   - no sync.Map iteration (Range visits entries in unspecified order,
+//     on top of sync.Map being concurrency machinery the two-phase
+//     engine's staged effects are designed to avoid);
+//   - no select over multiple ready channels — the runtime picks a case
+//     pseudo-randomly, so replaying a seed would not replay the
+//     schedule.
 var NoDeterminism = &Analyzer{
 	Name:  "nodeterminism",
 	Doc:   "forbid wall-clock, global math/rand and unordered map iteration in sim-core packages",
@@ -62,11 +68,47 @@ func runNoDeterminism(pass *Pass) error {
 				}
 			case *ast.RangeStmt:
 				checkMapRange(pass, file, n)
+			case *ast.CallExpr:
+				checkSyncMapRange(pass, n)
+			case *ast.SelectStmt:
+				checkMultiReadySelect(pass, n)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkSyncMapRange flags sync.Map.Range calls: iteration order is
+// unspecified, so any effect of the callback is nondeterministic.
+func checkSyncMapRange(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" {
+		return
+	}
+	named := namedOf(pass.TypeOf(sel.X))
+	if named == nil || named.Obj().Name() != "Map" {
+		return
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || pkg.Path() != "sync" {
+		return
+	}
+	pass.Reportf(call.Pos(), "sync.Map.Range iterates in nondeterministic order; use an ordered structure (sorted keys, slices) in sim-core packages")
+}
+
+// checkMultiReadySelect flags select statements with two or more
+// communication cases: when several are ready the runtime chooses
+// pseudo-randomly, which no seed replays.
+func checkMultiReadySelect(pass *Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		pass.Reportf(sel.Pos(), "select with %d communication cases chooses pseudo-randomly among ready channels; sim-core scheduling must be deterministic (single channel + explicit ordering)", comms)
+	}
 }
 
 // importedPkgPath returns the import path when e is a package

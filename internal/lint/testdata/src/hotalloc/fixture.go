@@ -1,0 +1,61 @@
+// Package fixture exercises the hotalloc analyzer: heap allocations
+// reachable from the cycle-loop root (*Network).Step are findings
+// unless they are recycled scratch, escape as the function's product,
+// or sit on an allowlisted init path.
+package fixture
+
+// Network mimics the cycle-loop owner.
+type Network struct {
+	scratch []int
+	items   []int
+	lookup  map[string]int
+}
+
+// NewNetwork is an init path: construction may allocate freely.
+func NewNetwork() *Network {
+	return &Network{lookup: make(map[string]int)}
+}
+
+// Step is the hot-path root.
+func (n *Network) Step() {
+	n.scratch = n.scratch[:0]
+	n.scratch = append(n.scratch, 1) // allowed: recycled scratch
+	n.grow()
+	n.alloc()
+	n.dispatch()
+	n.initTables() // allowed: traversal prunes at init*
+	_ = n.produce()
+}
+
+// grow appends into a field slice that is never reset (forbidden).
+func (n *Network) grow() {
+	n.items = append(n.items, 1) // want "heap allocation on the hot path"
+}
+
+// alloc creates per-cycle scratch that neither escapes nor recycles
+// (forbidden, all three forms).
+func (n *Network) alloc() {
+	buf := make([]int, 8)       // want "heap allocation on the hot path"
+	m := map[string]int{"k": 1} // want "heap allocation on the hot path"
+	p := &Network{}             // want "heap allocation on the hot path"
+	buf[0] = len(m) + len(p.items)
+}
+
+// dispatch builds a capturing closure every cycle (forbidden).
+func (n *Network) dispatch() {
+	f := func() { n.items[0] = 1 } // want "heap allocation on the hot path"
+	f()
+}
+
+// initTables is allowlisted by name: reallocation is its job.
+func (n *Network) initTables() {
+	n.lookup = make(map[string]int, 64)
+}
+
+// produce's allocation is bound to the returned value (allowed: the
+// function's product must be fresh).
+func (n *Network) produce() []int {
+	out := make([]int, 0, 4)
+	out = append(out, n.items...)
+	return out
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the lintignore auditor, run together with
+// nodeterminism so used/stale verdicts are grounded in real findings.
+// Audit findings land on the directive's own line, where a trailing
+// comment would become part of the parsed reason — the wants below use
+// the harness's line-offset form instead.
+package fixture
+
+import "time"
+
+// Justified reads the wall clock under a well-formed, used suppression
+// (allowed: no nodeterminism finding, no audit finding).
+func Justified() int64 {
+	//lint:ignore nodeterminism fixture demonstrating a justified suppression
+	return time.Now().Unix()
+}
+
+// Typo names an analyzer outside the inventory: the directive suppresses
+// nothing, so the wall-clock finding survives alongside the audit's.
+func Typo() int64 {
+	//lint:ignore nodetreminism the misspelling makes this a no-op
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+	// want-2 "names unknown analyzer"
+}
+
+// Unjustified suppresses the finding but carries no reason.
+func Unjustified() int64 {
+	//lint:ignore nodeterminism
+	return time.Now().Unix()
+	// want-2 "has no reason"
+}
+
+// Anonymous has a directive with no analyzer name at all.
+func Anonymous() int64 {
+	//lint:ignore
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+	// want-2 "missing an analyzer name"
+}
+
+// Stale suppresses nothing: the next line is clean.
+func Stale() int {
+	//lint:ignore nodeterminism nothing here triggers the analyzer
+	return 4
+	// want-2 "suppresses nothing; remove the stale directive"
+}

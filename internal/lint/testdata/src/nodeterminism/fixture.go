@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -67,4 +68,47 @@ func LocalAccumulation(m map[string][]int) int {
 		total += len(squares)
 	}
 	return total
+}
+
+// SyncMapIter iterates a sync.Map (forbidden: Range order is
+// unspecified).
+func SyncMapIter(sm *sync.Map) int {
+	count := 0
+	sm.Range(func(k, v any) bool { // want "sync.Map.Range iterates in nondeterministic order"
+		count++
+		return true
+	})
+	return count
+}
+
+// OrderedIter walks sorted keys of a plain map (allowed).
+func OrderedIter(m map[int]int, keys []int) int {
+	sum := 0
+	sort.Ints(keys)
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// MultiReadySelect races two channels (forbidden: the runtime picks a
+// ready case pseudo-randomly).
+func MultiReadySelect(a, b chan int) int {
+	select { // want "select with 2 communication cases chooses pseudo-randomly"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// SingleSelect polls one channel with a default arm (allowed: only one
+// communication case, so no pseudo-random choice).
+func SingleSelect(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
 }

@@ -96,7 +96,7 @@ func (n *Network) AttachMetrics(reg *metrics.Registry, interval uint64) {
 		fs.CounterFunc("sink_recoveries", func() uint64 { return n.sinkRecoveries })
 		fs.CounterFunc("credits_lost", func() uint64 { return n.creditsLost })
 		fs.CounterFunc("credits_healed", func() uint64 { return n.creditsHealed })
-		fs.GaugeFunc("credits_outstanding", func() float64 { return float64(len(n.creditRestores)) })
+		fs.GaugeFunc("credits_outstanding", func() float64 { return float64(len(n.creditRestores) - n.creditHead) })
 	}
 
 	// Time-series probes: the network-wide pulse over time.

@@ -112,6 +112,10 @@ type Network struct {
 	// Fault injection (nil unless cfg.Fault arms at least one class).
 	fault          *fault.Injector
 	creditRestores []creditRestore
+	// creditHead indexes the first undelivered entry of creditRestores;
+	// popping by index (instead of reslicing the front away) lets the
+	// drained queue reset to [:0] and reuse its backing array.
+	creditHead     int
 	sinkRecoveries uint64
 	creditsLost    uint64
 	creditsHealed  uint64
@@ -134,7 +138,18 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, ni: make([]niState, cfg.Nodes())}
+	// Everything the cycle loop touches is sized here, once: Step and the
+	// stages it drives must not allocate (enforced by discolint hotalloc).
+	n := &Network{
+		cfg:         cfg,
+		ni:          make([]niState, cfg.Nodes()),
+		busyScratch: make([]bool, cfg.Nodes()),
+		decoders:    make(map[string]compress.Algorithm),
+	}
+	for i := range n.ni {
+		n.ni[i].stream = make([]*Packet, cfg.VCs)
+		n.ni[i].streamed = make([]int, cfg.VCs)
+	}
 	if cfg.Fault.Enabled() {
 		n.fault = fault.NewInjector(*cfg.Fault)
 		if cfg.Disco != nil {
@@ -254,9 +269,6 @@ func (n *Network) verifyAtSink(node int, pkt *Packet) {
 func (n *Network) decodeComp(c compress.Compressed) ([]byte, error) {
 	alg, ok := n.decoders[c.Alg]
 	if !ok {
-		if n.decoders == nil {
-			n.decoders = make(map[string]compress.Algorithm)
-		}
 		alg, _ = compress.New(c.Alg) // nil for unknown names
 		n.decoders[c.Alg] = alg
 	}
@@ -279,10 +291,16 @@ func (n *Network) Step() {
 	// the queue is ordered by restore cycle), then link arrivals land in
 	// input buffers — these are last cycle's committed effects becoming
 	// this cycle's prior state.
-	for len(n.creditRestores) > 0 && n.creditRestores[0].at <= n.Cycle {
-		n.creditRestores[0].vc.restoreCredit()
+	for n.creditHead < len(n.creditRestores) && n.creditRestores[n.creditHead].at <= n.Cycle {
+		n.creditRestores[n.creditHead].vc.restoreCredit()
 		n.creditsHealed++
-		n.creditRestores = n.creditRestores[1:]
+		n.creditHead++
+	}
+	if n.creditHead == len(n.creditRestores) {
+		// Queue drained: reset to the front so the backing array is
+		// reused instead of regrown (amortized zero-allocation).
+		n.creditRestores = n.creditRestores[:0]
+		n.creditHead = 0
 	}
 	pend := n.pending
 	n.pending = n.pending[:0]
@@ -298,9 +316,7 @@ func (n *Network) Step() {
 		e.acceptFlit()
 	}
 	// Idle routers (no flits present or expected) skip all stages.
-	if cap(n.busyScratch) < len(n.Routers) {
-		n.busyScratch = make([]bool, len(n.Routers))
-	}
+	// busyScratch is sized once in New (the router count is fixed).
 	busy := n.busyScratch[:len(n.Routers)]
 	for i, r := range n.Routers {
 		busy[i] = r.busy()
@@ -379,10 +395,6 @@ func (n *Network) Step() {
 func (n *Network) stepInjection(node int) {
 	ni := &n.ni[node]
 	r := n.Routers[node]
-	if ni.stream == nil {
-		ni.stream = make([]*Packet, n.cfg.VCs)
-		ni.streamed = make([]int, n.cfg.VCs)
-	}
 	// Fill free VCs from the queue so waiting packets are buffered where
 	// the router (and the DISCO arbitrator) can see them.
 	for v, e := range r.in[Local] {

@@ -25,9 +25,13 @@ type workerPool struct {
 
 	// Per-run job state: written by the caller before the wake sends
 	// (which publish it to the workers) and read-only during the run.
-	fn     func(int)
-	n      int
-	cursor atomic.Int64
+	// The stage's inputs are pool fields rather than a closure so a Step
+	// allocates nothing per stage.
+	routers []*Router
+	busy    []bool
+	fn      func(*Router)
+	n       int
+	cursor  atomic.Int64
 }
 
 // newWorkerPool starts extra parked worker goroutines.
@@ -52,10 +56,10 @@ func newWorkerPool(extra int) *workerPool {
 // amortizes it while still balancing load across workers.
 const poolChunk = 8
 
-// run applies fn to every index in [0, n), sharded across the workers,
-// and returns once all calls completed (the commit barrier).
-func (p *workerPool) run(n int, fn func(int)) {
-	p.fn, p.n = fn, n
+// run applies fn to every busy router, sharded across the workers, and
+// returns once all calls completed (the commit barrier).
+func (p *workerPool) run(routers []*Router, busy []bool, fn func(*Router)) {
+	p.routers, p.busy, p.fn, p.n = routers, busy, fn, len(routers)
 	p.cursor.Store(0)
 	p.wg.Add(p.extra)
 	for _, ch := range p.wake {
@@ -63,7 +67,7 @@ func (p *workerPool) run(n int, fn func(int)) {
 	}
 	p.work() // the calling goroutine is a worker too
 	p.wg.Wait()
-	p.fn = nil
+	p.routers, p.busy, p.fn = nil, nil, nil
 }
 
 // work drains chunks of indices until the cursor runs past the job size.
@@ -78,7 +82,9 @@ func (p *workerPool) work() {
 			end = p.n
 		}
 		for i := start; i < end; i++ {
-			p.fn(i)
+			if p.busy[i] {
+				p.fn(p.routers[i])
+			}
 		}
 	}
 }
@@ -153,11 +159,7 @@ func (n *Network) runStage(busy []bool, f func(*Router)) {
 		}
 		return
 	}
-	n.pool.run(len(n.Routers), func(i int) {
-		if busy[i] {
-			f(n.Routers[i])
-		}
-	})
+	n.pool.run(n.Routers, busy, f)
 }
 
 // flushTraces replays the trace events staged by a parallel compute
