@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint lint-baseline vet fmt test race test-race-parallel cover fuzz-smoke chaos-smoke bench-snapshot bench-compare ci
+.PHONY: all build lint lint-baseline vet fmt test race test-race-parallel cover fuzz-smoke chaos-smoke scaling-curve bench-snapshot bench-compare ci
 
 all: build lint test
 
@@ -72,6 +72,16 @@ chaos-smoke:
 				-fault-spec "$$spec" -fault-seed $$seed || exit 1; \
 		done; \
 	done
+
+# Worker-count scaling curve on a short full-system run: sweep
+# -sim-workers over the two-phase engine and write cycles/sec plus the
+# per-phase wall-clock breakdown as CSV. CI uploads the curve as a
+# workflow artifact; shared-runner numbers are indicative, not gated.
+scaling-curve:
+	@mkdir -p bench
+	$(GO) run ./cmd/discosim -run disco -benchmark swaptions \
+		-ops 2000 -warmup 500 -scaling 1,2,4 -scaling-csv bench/scaling.csv
+	@cat bench/scaling.csv
 
 # One pass over every benchmark (sanity, not timing-stable) into
 # bench/full.txt, then a timing-stable best-of-5 run of the hot-path

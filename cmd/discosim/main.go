@@ -7,13 +7,18 @@
 //	discosim -exp all -quick          # everything, reduced settings
 //	discosim -exp fig7 -benchmarks canneal,streamcluster -ops 8000
 //	discosim -run disco -benchmark canneal -alg sc2   # one raw run
+//	discosim -run disco -benchmark canneal -profile -http :6060
+//	discosim -run disco -scaling 1,2,4,8 -scaling-csv scaling.csv
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/disco-sim/disco/internal/cmp"
@@ -22,6 +27,7 @@ import (
 	"github.com/disco-sim/disco/internal/fault"
 	"github.com/disco-sim/disco/internal/metrics"
 	"github.com/disco-sim/disco/internal/noc"
+	"github.com/disco-sim/disco/internal/obs"
 	"github.com/disco-sim/disco/internal/simrun"
 	"github.com/disco-sim/disco/internal/trace"
 )
@@ -51,13 +57,31 @@ func main() {
 		jobs       = flag.Int("j", 0, "parallel simulation workers (0 = all cores); results are byte-identical at any setting")
 		simWorkers = flag.Int("sim-workers", 1, "with -run: shard the NoC cycle engine across this many workers within the one simulation; results are byte-identical at any setting")
 		noCache    = flag.Bool("no-cache", false, "disable the cross-figure run memo cache")
+
+		profile    = flag.Bool("profile", false, "with -run: print a per-phase wall-clock profile to stderr after the run (purely observational; artifacts stay byte-identical)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /status and /debug/pprof on this address while the run or campaign executes (e.g. :6060)")
+		httpEvery  = flag.Uint64("http-every", 0, "with -run -http: publish /status and /metrics snapshots every N cycles (0 = default)")
+		scaling    = flag.String("scaling", "", "with -run: comma-separated -sim-workers counts to sweep, emitting a scaling-curve CSV")
+		scalingCSV = flag.String("scaling-csv", "", "with -scaling: write the curve CSV to this file (default stdout)")
 	)
 	flag.Parse()
 
+	// All operator-facing stderr chatter goes through one structured
+	// reporter; stdout stays reserved for artifacts so redirected output
+	// is byte-identical with or without observability armed.
+	rep := obs.NewReporter(os.Stderr, "discosim")
+
 	if *runMode != "" {
-		obs := observeOpts{metricsOut: *metricsOut, metricsEvery: *metricsEvery, traceBin: *traceBin,
-			faultSpec: *faultSpec, faultSeed: *faultSeed, simWorkers: *simWorkers}
-		if err := singleRun(*runMode, *bench, *alg, *k, *ops, *warmup, *seed, obs); err != nil {
+		o := observeOpts{metricsOut: *metricsOut, metricsEvery: *metricsEvery, traceBin: *traceBin,
+			faultSpec: *faultSpec, faultSeed: *faultSeed, simWorkers: *simWorkers,
+			profile: *profile, httpAddr: *httpAddr, httpEvery: *httpEvery, rep: rep}
+		var err error
+		if *scaling != "" {
+			err = scalingRun(*runMode, *bench, *alg, *k, *ops, *warmup, *seed, o, *scaling, *scalingCSV)
+		} else {
+			err = singleRun(*runMode, *bench, *alg, *k, *ops, *warmup, *seed, o)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "discosim:", err)
 			os.Exit(1)
 		}
@@ -89,10 +113,18 @@ func main() {
 	defer func() {
 		st := o.Runner.Stats()
 		if st.Submitted > 0 {
-			fmt.Fprintf(os.Stderr, "simrun: %d cells (%d simulated, %d cache hits), j=%d\n",
+			rep.Infof("simrun: %d cells (%d simulated, %d cache hits), j=%d",
 				st.Submitted, st.Executed, st.Hits, o.Runner.Workers())
 		}
 	}()
+	if *httpAddr != "" {
+		srv, err := startCampaignServer(*httpAddr, o.Runner, rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discosim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
@@ -257,13 +289,28 @@ type observeOpts struct {
 	faultSpec    string
 	faultSeed    int64
 	simWorkers   int
+	profile      bool
+	httpAddr     string
+	httpEvery    uint64
+	rep          *obs.Reporter     // structured stderr reporter (nil = fresh default)
+	httpReady    func(addr string) // test hook: called once the endpoint is listening
 }
 
-// singleRun executes one raw simulation and prints its result line.
-func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, obs observeOpts) error {
+// reporter returns the configured stderr reporter, defaulting to one on
+// os.Stderr so library-style callers (tests) can pass observeOpts{}.
+func (o observeOpts) reporter() *obs.Reporter {
+	if o.rep != nil {
+		return o.rep
+	}
+	return obs.NewReporter(os.Stderr, "discosim")
+}
+
+// buildConfig resolves the CLI names (mode, benchmark, algorithm) into
+// a full-system configuration.
+func buildConfig(mode, bench, alg string, k, ops, warmup int, seed int64, o observeOpts) (cmp.Config, error) {
 	prof, ok := trace.ByName(bench)
 	if !ok {
-		return fmt.Errorf("unknown benchmark %q (have %s)", bench, strings.Join(trace.Names(), ","))
+		return cmp.Config{}, fmt.Errorf("unknown benchmark %q (have %s)", bench, strings.Join(trace.Names(), ","))
 	}
 	var m cmp.Mode
 	switch mode {
@@ -278,14 +325,14 @@ func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, obs obse
 	case "disco":
 		m = cmp.DISCO
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return cmp.Config{}, fmt.Errorf("unknown mode %q", mode)
 	}
 	var a compress.Algorithm
 	if m != cmp.Baseline {
 		var err error
 		a, err = compress.New(alg)
 		if err != nil {
-			return err
+			return cmp.Config{}, err
 		}
 	}
 	cfg := cmp.DefaultConfig(m, a, prof)
@@ -297,28 +344,87 @@ func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, obs obse
 	if warmup > 0 {
 		cfg.WarmupOps = warmup
 	}
-	if obs.faultSpec != "" {
-		spec, err := fault.ParseSpec(obs.faultSpec)
+	if o.faultSpec != "" {
+		spec, err := fault.ParseSpec(o.faultSpec)
 		if err != nil {
-			return err
+			return cmp.Config{}, err
 		}
-		spec.Seed = obs.faultSeed
+		spec.Seed = o.faultSeed
 		cfg.Fault = &spec
 	}
-	cfg.SimWorkers = obs.simWorkers
+	cfg.SimWorkers = o.simWorkers
+	return cfg, nil
+}
+
+// runStatus is the /status JSON document for one -run simulation. It is
+// published at commit boundaries by the probe, so request goroutines
+// only ever see an immutable, consistent snapshot.
+type runStatus struct {
+	Mode      string        `json:"mode"`
+	Benchmark string        `json:"benchmark"`
+	Cycle     uint64        `json:"cycle"`
+	Done      bool          `json:"done"`
+	Snapshot  *noc.Snapshot `json:"snapshot,omitempty"`
+}
+
+// singleRun executes one raw simulation and prints its result line.
+func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, o observeOpts) error {
+	rep := o.reporter()
+	cfg, err := buildConfig(mode, bench, alg, k, ops, warmup, seed, o)
+	if err != nil {
+		return err
+	}
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
 	var reg *metrics.Registry
-	if obs.metricsOut != "" {
+	if o.metricsOut != "" {
 		reg = metrics.NewRegistry()
-		sys.AttachMetrics(reg, obs.metricsEvery)
+		sys.AttachMetrics(reg, o.metricsEvery)
+	}
+	var pp *obs.PhaseProfiler
+	if o.profile || o.httpAddr != "" {
+		pp = obs.NewPhaseProfiler(cfg.SimWorkers)
+		sys.AttachProfiler(pp)
+	}
+	if o.httpAddr != "" {
+		// /metrics renders the profiler registry live (it reads only
+		// atomics) and appends the boundary-published simulation export;
+		// /status serves the probe-published runStatus document.
+		srv := obs.NewServer()
+		obsReg := metrics.NewRegistry()
+		pp.AttachMetrics(obsReg)
+		srv.SetLiveMetrics(func() []byte {
+			var b bytes.Buffer
+			if err := obsReg.WritePrometheus(&b, obs.Namespace); err != nil {
+				return nil
+			}
+			return b.Bytes()
+		})
+		publish := func(done bool) {
+			_ = srv.PublishStatus(runStatus{Mode: mode, Benchmark: bench,
+				Cycle: sys.NowCycle(), Done: done, Snapshot: sys.Network().Snapshot()})
+			if reg != nil {
+				_ = srv.PublishMetricsExport(reg.Snapshot())
+			}
+		}
+		sys.SetProbe(o.httpEvery, func() { publish(false) })
+		publish(false)
+		defer func() { publish(true); _ = srv.Close() }()
+		addr, err := srv.Start(o.httpAddr)
+		if err != nil {
+			return err
+		}
+		rep.Infof("observability endpoint on http://%s (/metrics /status /debug/pprof)", addr)
+		if o.httpReady != nil {
+			o.httpReady(addr)
+		}
 	}
 	var bt *noc.BinaryTracer
-	if obs.traceBin != "" {
-		f, err := os.Create(obs.traceBin)
+	if o.traceBin != "" {
+		f, err := os.Create(o.traceBin)
 		if err != nil {
 			return err
 		}
@@ -337,12 +443,15 @@ func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, obs obse
 		// print it rather than just the headline.
 		var se *cmp.StallError
 		if errors.As(err, &se) && se.Snapshot != nil {
-			fmt.Fprintln(os.Stderr, se.Snapshot.String())
+			rep.Block("stall snapshot", se.Snapshot.String())
 		}
 		return err
 	}
+	if pp != nil && o.profile {
+		rep.Block("phase profile", pp.Report().String())
+	}
 	if reg != nil {
-		f, err := os.Create(obs.metricsOut)
+		f, err := os.Create(o.metricsOut)
 		if err != nil {
 			return err
 		}
@@ -353,11 +462,119 @@ func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, obs obse
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", obs.metricsOut)
+		fmt.Printf("wrote %s\n", o.metricsOut)
 	}
 	if bt != nil {
-		fmt.Printf("wrote %s (%d records)\n", obs.traceBin, bt.Count)
+		fmt.Printf("wrote %s (%d records)\n", o.traceBin, bt.Count)
 	}
 	fmt.Println(r.Detailed())
 	return nil
+}
+
+// scalingRun sweeps -sim-workers over the given counts, re-running the
+// same simulation once per count with a profiler attached, and emits
+// the scaling curve as CSV (one row per count; columns per
+// obs.ScalingHeader). Every sweep point produces byte-identical
+// simulation results — only the wall-clock columns vary.
+func scalingRun(mode, bench, alg string, k, ops, warmup int, seed int64, o observeOpts, spec, csvPath string) error {
+	rep := o.reporter()
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -scaling worker count %q", f)
+		}
+		counts = append(counts, n)
+	}
+	reports := make([]obs.Report, 0, len(counts))
+	for _, wkr := range counts {
+		cfg, err := buildConfig(mode, bench, alg, k, ops, warmup, seed, o)
+		if err != nil {
+			return err
+		}
+		cfg.SimWorkers = wkr
+		sys, err := cmp.New(cfg)
+		if err != nil {
+			return err
+		}
+		pp := obs.NewPhaseProfiler(wkr)
+		sys.AttachProfiler(pp)
+		_, err = sys.Run()
+		sys.Close()
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", wkr, err)
+		}
+		r := pp.Report()
+		rep.Infof("workers=%d: %d cycles in %.3fs (%.0f cycles/s)",
+			wkr, r.Steps, float64(r.ElapsedNS)/1e9, r.CyclesPerSec())
+		reports = append(reports, r)
+	}
+	out := io.Writer(os.Stdout)
+	var f *os.File
+	if csvPath != "" {
+		var err error
+		f, err = os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		out = f
+	}
+	if err := obs.WriteScalingCSV(out, counts, reports); err != nil {
+		if f != nil {
+			_ = f.Close()
+		}
+		return err
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+// campaignStatus is the /status JSON document for an experiment
+// campaign: the runner's live cell counters (Done is the number a
+// progress watcher polls).
+type campaignStatus struct {
+	Submitted uint64 `json:"cells_submitted"`
+	Executed  uint64 `json:"cells_executed"`
+	Hits      uint64 `json:"cells_cache_hits"`
+	Done      uint64 `json:"cells_done"`
+	Workers   int    `json:"workers"`
+}
+
+// startCampaignServer serves live campaign progress while experiments
+// run. Both endpoints read simrun.Runner.Stats(), which is
+// mutex-guarded, so the live closures are safe to call from request
+// goroutines at any moment.
+func startCampaignServer(addr string, r *simrun.Runner, rep *obs.Reporter) (*obs.Server, error) {
+	srv := obs.NewServer()
+	srv.SetLiveStatus(func() any {
+		st := r.Stats()
+		return campaignStatus{Submitted: st.Submitted, Executed: st.Executed,
+			Hits: st.Hits, Done: st.Done, Workers: r.Workers()}
+	})
+	srv.SetLiveMetrics(func() []byte {
+		st := r.Stats()
+		reg := metrics.NewRegistry()
+		sc := reg.Scope("simrun")
+		sc.Counter("cells_submitted").Add(st.Submitted)
+		sc.Counter("cells_executed").Add(st.Executed)
+		sc.Counter("cells_cache_hits").Add(st.Hits)
+		sc.Counter("cells_done").Add(st.Done)
+		sc.Gauge("workers").Set(float64(r.Workers()))
+		var b bytes.Buffer
+		if err := reg.WritePrometheus(&b, obs.Namespace); err != nil {
+			return nil
+		}
+		return b.Bytes()
+	})
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	rep.Infof("observability endpoint on http://%s (/metrics /status /debug/pprof)", bound)
+	return srv, nil
 }

@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/disco-sim/disco/internal/experiments"
+	"github.com/disco-sim/disco/internal/metrics"
+	"github.com/disco-sim/disco/internal/obs"
 	"github.com/disco-sim/disco/internal/tracefmt"
 )
 
@@ -97,6 +102,176 @@ func TestSingleRunObservabilityArtifacts(t *testing.T) {
 	}
 	if n == 0 {
 		t.Error("binary trace contains no records")
+	}
+}
+
+// TestSingleRunHTTPObservability smoke-tests the -http endpoint against
+// a live run: /status decodes as JSON naming the run, /metrics passes
+// the Prometheus text lint and carries the profiler families, and the
+// pprof handlers answer.
+func TestSingleRunHTTPObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system runs")
+	}
+	checked := false
+	o := observeOpts{
+		metricsOut: filepath.Join(t.TempDir(), "metrics.json"),
+		profile:    true,
+		httpAddr:   "127.0.0.1:0",
+		rep:        obs.NewReporter(io.Discard, "discosim"),
+		httpReady: func(addr string) {
+			checked = true
+			res, err := http.Get("http://" + addr + "/status")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer res.Body.Close()
+			var st struct {
+				Mode      string `json:"mode"`
+				Benchmark string `json:"benchmark"`
+			}
+			if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+				t.Fatalf("/status is not JSON: %v", err)
+			}
+			if st.Mode != "disco" || st.Benchmark != "swaptions" {
+				t.Errorf("/status = %+v, want disco/swaptions", st)
+			}
+
+			res, err = http.Get("http://" + addr + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer res.Body.Close()
+			text, err := io.ReadAll(res.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Contains(text, []byte("disco_obs_profile_steps")) {
+				t.Error("/metrics is missing the live profiler families")
+			}
+			if !bytes.Contains(text, []byte("disco_noc_injected")) {
+				t.Error("/metrics is missing the published simulation families")
+			}
+			if err := metrics.CheckPrometheusText(bytes.NewReader(text)); err != nil {
+				t.Errorf("/metrics fails exposition lint: %v", err)
+			}
+
+			res, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				t.Errorf("/debug/pprof/cmdline: status %d", res.StatusCode)
+			}
+		},
+	}
+	if err := singleRun("disco", "swaptions", "delta", 4, 400, 200, 1, o); err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Error("httpReady hook never fired")
+	}
+}
+
+// TestObservabilityIsPurelyObservational is the top-level golden gate
+// for the whole observability layer: the same run executed bare and
+// with profiler + HTTP endpoint + boundary probe all armed must produce
+// byte-identical metrics and binary-trace artifacts. Anything the
+// profiler or the /status publisher perturbs in simulation state would
+// show up here.
+func TestObservabilityIsPurelyObservational(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system runs")
+	}
+	runOnce := func(observed bool) (metricsRaw, traceRaw []byte) {
+		dir := t.TempDir()
+		o := observeOpts{
+			metricsOut: filepath.Join(dir, "metrics.json"),
+			traceBin:   filepath.Join(dir, "trace.bin"),
+			simWorkers: 2,
+			rep:        obs.NewReporter(io.Discard, "discosim"),
+		}
+		if observed {
+			o.profile = true
+			o.httpAddr = "127.0.0.1:0"
+			o.httpEvery = 64 // probe aggressively to maximize interference surface
+		}
+		if err := singleRun("disco", "swaptions", "delta", 4, 400, 200, 1, o); err != nil {
+			t.Fatal(err)
+		}
+		m, err := os.ReadFile(o.metricsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := os.ReadFile(o.traceBin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, tr
+	}
+	bareMetrics, bareTrace := runOnce(false)
+	obsMetrics, obsTrace := runOnce(true)
+	if !bytes.Equal(bareMetrics, obsMetrics) {
+		t.Error("metrics artifact differs with observability armed")
+	}
+	if !bytes.Equal(bareTrace, obsTrace) {
+		t.Error("binary trace differs with observability armed")
+	}
+}
+
+// TestSingleRunProfileReport checks -profile routes a phase-profile
+// block through the structured reporter.
+func TestSingleRunProfileReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system runs")
+	}
+	var buf bytes.Buffer
+	o := observeOpts{profile: true, rep: obs.NewReporter(&buf, "discosim")}
+	if err := singleRun("disco", "swaptions", "delta", 4, 400, 200, 1, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "discosim: phase profile") {
+		t.Errorf("reporter output missing profile block:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles/s") {
+		t.Errorf("profile block missing throughput headline:\n%s", out)
+	}
+}
+
+// TestScalingRunCSV checks the -scaling sweep writes a well-formed
+// curve CSV and rejects malformed worker lists.
+func TestScalingRunCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system runs")
+	}
+	csvPath := filepath.Join(t.TempDir(), "scaling.csv")
+	o := observeOpts{rep: obs.NewReporter(io.Discard, "discosim")}
+	if err := scalingRun("disco", "swaptions", "delta", 4, 300, 150, 1, o, "1, 2", csvPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("scaling CSV has %d lines, want header + 2 rows:\n%s", len(lines), raw)
+	}
+	if lines[0] != obs.ScalingHeader() {
+		t.Errorf("CSV header = %q, want %q", lines[0], obs.ScalingHeader())
+	}
+	for i, prefix := range []string{"1,", "2,"} {
+		if !strings.HasPrefix(lines[i+1], prefix) {
+			t.Errorf("row %d = %q, want prefix %q", i+1, lines[i+1], prefix)
+		}
+	}
+	if err := scalingRun("disco", "swaptions", "delta", 4, 100, 50, 1, o, "1,zero", ""); err == nil {
+		t.Error("malformed -scaling list should fail")
+	}
+	if err := scalingRun("disco", "swaptions", "delta", 4, 100, 50, 1, o, "0", ""); err == nil {
+		t.Error("zero worker count should fail")
 	}
 }
 

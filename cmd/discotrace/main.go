@@ -7,6 +7,7 @@
 //
 //	discotrace trace.bin
 //	discotrace -top 20 -no-heatmap trace.bin
+//	discotrace -perfetto out.json trace.bin   # trace-event JSON for ui.perfetto.dev
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	var (
 		topN      = flag.Int("top", 10, "number of slowest packets to list")
 		noHeatmap = flag.Bool("no-heatmap", false, "skip the per-router heatmap tables")
+		perfetto  = flag.String("perfetto", "", "write Perfetto/Chrome trace-event JSON to this file instead of the text report")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -44,6 +46,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discotrace:", err)
 		os.Exit(1)
+	}
+	if *perfetto != "" {
+		out, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discotrace:", err)
+			os.Exit(1)
+		}
+		if err := exportPerfetto(r, out); err != nil {
+			_ = out.Close()
+			fmt.Fprintln(os.Stderr, "discotrace:", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "discotrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *perfetto)
+		return
 	}
 	a, err := analyze(r)
 	if err != nil {

@@ -1,0 +1,223 @@
+package main
+
+// Perfetto/Chrome trace-event export (-perfetto out.json): converts the
+// binary trace into the JSON trace-event format that ui.perfetto.dev
+// and chrome://tracing render, so a run can be inspected visually —
+// engine service spans per router track, fault/breaker instants, and
+// every delivered packet as a nested async span split into its
+// queue/engine/serialization segments.
+//
+// Conventions:
+//   - 1 simulated cycle = 1 trace microsecond (ts/dur are in µs).
+//   - pid 0 is the NoC (one thread track per router), pid 1 holds the
+//     packet async spans.
+//   - Output is deterministic: events are emitted in stream order (the
+//     trace itself is deterministic), metadata last in sorted router
+//     order, and every record is marshaled with fixed field order — the
+//     golden test diffs the bytes.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/disco-sim/disco/internal/tracefmt"
+)
+
+const (
+	pidNoC = 0 // router engine/fault tracks
+	pidPkt = 1 // packet lifetime async spans
+)
+
+// traceEvent is one JSON trace-event record (the subset of the spec the
+// exporter uses).
+type traceEvent struct {
+	Name  string         `json:"name,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// instantKinds are the event kinds rendered as thread-scoped instants
+// on their router's track.
+var instantKinds = map[tracefmt.Kind]bool{
+	tracefmt.KindEngineFault:  true,
+	tracefmt.KindBreakerTrip:  true,
+	tracefmt.KindBreakerArm:   true,
+	tracefmt.KindPayloadFlip:  true,
+	tracefmt.KindFaultRecover: true,
+	tracefmt.KindCreditDrop:   true,
+	tracefmt.KindStall:        true,
+}
+
+// classNames mirrors noc.Class.String for the wire class codes.
+var classNames = [...]string{"request", "response", "coherence"}
+
+func className(c uint8) string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", c)
+}
+
+// exportPerfetto streams the trace into trace-event JSON.
+func exportPerfetto(r *tracefmt.Reader, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	var emitErr error
+	emit := func(ev traceEvent) {
+		if emitErr != nil {
+			return
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			emitErr = err
+			return
+		}
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				emitErr = err
+				return
+			}
+		}
+		first = false
+		if _, err := bw.Write(data); err != nil {
+			emitErr = err
+		}
+	}
+
+	routers := map[int]bool{}
+	engineStart := map[int]uint64{} // router -> in-flight start stamp+1
+	enginePkt := map[int]uint64{}   // router -> in-flight job's packet id
+	injected := map[uint64]uint64{} // packet id -> inject cycle
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Router >= 0 {
+			routers[rec.Router] = true
+		}
+		switch {
+		case rec.Kind == tracefmt.KindInject && rec.HasPacket:
+			injected[rec.Pkt.ID] = rec.Cycle
+		case rec.Kind == tracefmt.KindEject && rec.HasPacket:
+			inject, ok := injected[rec.Pkt.ID]
+			if !ok {
+				break // injected before tracing started
+			}
+			delete(injected, rec.Pkt.ID)
+			emitPacket(emit, inject, &rec.Pkt, rec.Cycle)
+		case rec.Kind == tracefmt.KindEngineStart && rec.Router >= 0:
+			engineStart[rec.Router] = rec.Cycle + 1
+			if rec.HasPacket {
+				enginePkt[rec.Router] = rec.Pkt.ID
+			} else {
+				delete(enginePkt, rec.Router)
+			}
+		case (rec.Kind == tracefmt.KindEngineDone || rec.Kind == tracefmt.KindEngineFail ||
+			rec.Kind == tracefmt.KindEngineRelease) && rec.Router >= 0:
+			stamp, ok := engineStart[rec.Router]
+			if !ok || stamp == 0 {
+				break // started before tracing began
+			}
+			start := stamp - 1
+			delete(engineStart, rec.Router)
+			dur := rec.Cycle - start
+			args := map[string]any{"outcome": rec.Kind.String()}
+			if id, ok := enginePkt[rec.Router]; ok {
+				args["packet"] = id
+				delete(enginePkt, rec.Router)
+			}
+			emit(traceEvent{Name: "engine", Cat: "engine", Ph: "X",
+				TS: start, Dur: &dur, PID: pidNoC, TID: rec.Router, Args: args})
+		case instantKinds[rec.Kind] && rec.Router >= 0:
+			var args map[string]any
+			if rec.HasPacket {
+				args = map[string]any{"packet": rec.Pkt.ID}
+			}
+			emit(traceEvent{Name: rec.Kind.String(), Cat: "fault", Ph: "i",
+				TS: rec.Cycle, PID: pidNoC, TID: rec.Router, Scope: "t", Args: args})
+		}
+	}
+
+	// Metadata last (viewers sort by ts anyway), routers in sorted order.
+	emit(traceEvent{Name: "process_name", Ph: "M", PID: pidNoC,
+		Args: map[string]any{"name": "noc"}})
+	emit(traceEvent{Name: "process_name", Ph: "M", PID: pidPkt,
+		Args: map[string]any{"name": "packets"}})
+	ids := make([]int, 0, len(routers))
+	for id := range routers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		emit(traceEvent{Name: "thread_name", Ph: "M", PID: pidNoC, TID: id,
+			Args: map[string]any{"name": fmt.Sprintf("router %d", id)}})
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// emitPacket renders one delivered packet as a nested async span: the
+// outer inject->eject span wraps queue/engine/serialization child
+// segments laid out from the packet's latency breakdown (same clamping
+// rule as noc.Packet.Breakdown — stalls bounded by the total, exposed
+// engine time bounded by the stalls).
+func emitPacket(emit func(traceEvent), inject uint64, pk *tracefmt.PacketInfo, eject uint64) {
+	total := eject - inject
+	stall := pk.Queueing
+	if stall > total {
+		stall = total
+	}
+	engine := pk.EngineStall
+	if engine > stall {
+		engine = stall
+	}
+	queue := stall - engine
+	serial := total - stall
+
+	id := fmt.Sprintf("%d", pk.ID)
+	name := fmt.Sprintf("pkt %d->%d", pk.Src, pk.Dst)
+	emit(traceEvent{Name: name, Cat: "packet", Ph: "b", TS: inject,
+		PID: pidPkt, TID: 0, ID: id, Args: map[string]any{
+			"id": pk.ID, "class": className(pk.Class), "flits": pk.Flits,
+			"hops": pk.Hops, "conversions": pk.Conversions,
+			"compressed": pk.Compressed(),
+		}})
+	ts := inject
+	for _, seg := range [...]struct {
+		name string
+		dur  uint64
+	}{{"queue", queue}, {"engine", engine}, {"serialization", serial}} {
+		if seg.dur == 0 {
+			continue
+		}
+		emit(traceEvent{Name: seg.name, Cat: "packet", Ph: "b", TS: ts,
+			PID: pidPkt, TID: 0, ID: id})
+		ts += seg.dur
+		emit(traceEvent{Name: seg.name, Cat: "packet", Ph: "e", TS: ts,
+			PID: pidPkt, TID: 0, ID: id})
+	}
+	emit(traceEvent{Name: name, Cat: "packet", Ph: "e", TS: eject,
+		PID: pidPkt, TID: 0, ID: id})
+}

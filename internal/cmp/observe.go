@@ -5,11 +5,36 @@ import (
 
 	"github.com/disco-sim/disco/internal/metrics"
 	"github.com/disco-sim/disco/internal/noc"
+	"github.com/disco-sim/disco/internal/obs"
 )
 
 // Network exposes the system's NoC for observability attachments
 // (tracers, metrics); the returned network is owned by the system.
 func (s *System) Network() *noc.Network { return s.net }
+
+// NowCycle returns the current simulated cycle. Safe to read from the
+// simulation goroutine or from a probe callback; concurrent readers
+// (HTTP handlers) must go through boundary-published snapshots instead.
+func (s *System) NowCycle() uint64 { return s.now }
+
+// AttachProfiler arms the NoC's stage-level wall-clock profiler, sized
+// to the engine's configured worker count. Purely observational: the
+// run's artifacts are byte-identical with or without it.
+func (s *System) AttachProfiler(p *obs.PhaseProfiler) { s.net.AttachProfiler(p) }
+
+// SetProbe installs fn to run on the simulation goroutine every `every`
+// cycles (0 = the watchdog's period), only at commit boundaries — the
+// one point where the network's staged effects are all applied and its
+// state is coherent. The obs HTTP endpoint publishes its /status and
+// /metrics snapshots from here; because fn runs between Steps on the
+// sim goroutine, it can read any system state race-free, and because it
+// only READS, the probe cannot perturb the simulation.
+func (s *System) SetProbe(every uint64, fn func()) {
+	if every == 0 {
+		every = watchdogPeriod
+	}
+	s.probeEvery, s.probeFn = every, fn
+}
 
 // Close releases resources held by the system — currently the NoC's
 // worker pool when Config.SimWorkers armed the parallel engine. The

@@ -94,6 +94,11 @@ type System struct {
 	wbPackets    uint64
 	prefIssued   uint64
 	prefUseful   uint64
+
+	// Observability probe (see SetProbe): fn runs on the simulation
+	// goroutine every probeEvery cycles, only at commit boundaries.
+	probeEvery uint64
+	probeFn    func()
 }
 
 // New builds a system.

@@ -89,6 +89,9 @@ func (s *System) Run() (Results, error) {
 			return Results{}, s.stallError(0, fmt.Sprintf("cycle budget %d exhausted", s.cfg.MaxCycles))
 		}
 		s.Step()
+		if s.probeFn != nil && s.now%s.probeEvery == 0 && s.net.AtCommitBoundary() {
+			s.probeFn()
+		}
 		if s.now%watchdogPeriod != 0 || !s.net.AtCommitBoundary() {
 			// Sample only at post-commit boundaries: between Steps all
 			// staged effects are applied and the counters are coherent.

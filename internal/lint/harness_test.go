@@ -174,6 +174,22 @@ func TestIgnoreDirective(t *testing.T) {
 	runFixture(t, NoDeterminism, "ignore", "fixturemod/internal/noc")
 }
 
+// TestNoDeterminismSanctionsObs pins the observability carve-out: the
+// very sources that produce wall-clock and map-order findings inside
+// internal/noc are exempt when they live in internal/obs, the one
+// sanctioned wall-clock island (its measurements never flow back into
+// simulation state; phasesafety polices the reverse direction).
+func TestNoDeterminismSanctionsObs(t *testing.T) {
+	pkg := loadFixture(t, "nodeterminism", "fixturemod/internal/obs")
+	diags, err := Run(pkg, []*Analyzer{NoDeterminism})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("nodeterminism fired inside internal/obs: %s", d)
+	}
+}
+
 // TestMatchScoping runs a scoped analyzer over a package outside its
 // domain: no diagnostics may fire even though the source would be
 // flagged inside internal/noc.

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"regexp"
+	"strings"
 )
 
 // NoDeterminism enforces the simulator's reproducibility policy inside
@@ -23,11 +24,26 @@ import (
 //   - no select over multiple ready channels — the runtime picks a case
 //     pseudo-randomly, so replaying a seed would not replay the
 //     schedule.
+//
+// internal/obs is the one sanctioned exception: it exists to observe
+// wall-clock time (and uses atomics to do so race-free), and is
+// engineered so nothing it measures can flow back into simulation
+// state. The carve-out is explicit in Match rather than implicit in
+// the sim-core list so the policy survives package moves; the
+// phasesafety analyzer closes the loop by flagging compute-phase code
+// that calls into internal/obs.
 var NoDeterminism = &Analyzer{
 	Name:  "nodeterminism",
 	Doc:   "forbid wall-clock, global math/rand and unordered map iteration in sim-core packages",
-	Match: isSimCore,
+	Match: func(path string) bool { return isSimCore(path) && !isObsPkg(path) },
 	Run:   runNoDeterminism,
+}
+
+// isObsPkg reports whether path is the internal/obs observability
+// package — the sanctioned home for wall-clock reads.
+func isObsPkg(path string) bool {
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs") ||
+		strings.Contains(path, "internal/obs/")
 }
 
 // globalRandFuncs are the math/rand (and v2) top-level functions backed

@@ -23,7 +23,13 @@ import (
 //     deep the write is (mutation facts are propagated to callers);
 //   - any direct (*Network).trace emission — compute phases must stage
 //     events through the (*Router).trace wrapper so the parallel flush
-//     can replay them in canonical order.
+//     can replay them in canonical order;
+//   - any call into internal/obs — the observability package is the
+//     sanctioned wall-clock island, but its clock may be read only by
+//     the engine driver and the worker loop, which bracket whole
+//     stages. A compute method timing itself would read the wall clock
+//     once per router per cycle and skew the very phase attribution
+//     the profiler exists to report.
 //
 // commit* methods are the serial half of the engine and are exempt:
 // traversal is pruned at any function whose name starts with "commit",
@@ -38,6 +44,13 @@ var PhaseSafety = &Analyzer{
 // isNocCore restricts an analyzer to the NoC cycle-engine package.
 func isNocCore(path string) bool {
 	return strings.HasSuffix(path, "internal/noc")
+}
+
+// isObsFunc reports whether fn belongs to internal/obs, the sanctioned
+// observability (wall-clock) package.
+func isObsFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	return pkg != nil && isObsPkg(pkg.Path())
 }
 
 func runPhaseSafety(pass *Pass) error {
@@ -76,6 +89,10 @@ func checkPhaseWrites(pass *Pass, pf *pkgFacts, ff *funcFacts) {
 		}
 	}
 	for _, cs := range ff.calls {
+		if isObsFunc(cs.callee) {
+			pass.Reportf(cs.pos, "compute-phase call to obs.%s (in %s); wall-clock observation belongs to the engine driver and worker loop, not compute code whose timing it would skew", cs.callee.Name(), where)
+			continue
+		}
 		if cs.callee.Name() == "trace" && recvTypeName(cs.callee) == "Network" {
 			pass.Reportf(cs.pos, "direct trace emission from compute phase (%s); use the (*Router).trace staging wrapper so events flush in canonical order", where)
 			continue

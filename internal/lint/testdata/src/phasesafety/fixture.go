@@ -1,8 +1,11 @@
 // Package fixture exercises the phasesafety analyzer: the two-phase
 // engine's compute-phase write contract. Methods named compute* are the
-// roots; they may write only their own router's state. commit* methods
-// and the (*Router).trace staging wrapper are exempt.
+// roots; they may write only their own router's state, and may not read
+// the sanctioned wall-clock island (internal/obs). commit* methods and
+// the (*Router).trace staging wrapper are exempt.
 package fixture
+
+import "github.com/disco-sim/disco/internal/obs"
 
 // Packet is payload state that can be visible to several routers.
 type Packet struct{ hops int }
@@ -101,6 +104,37 @@ func (r *Router) computeDeep() { r.spill() }
 
 func (r *Router) spill() {
 	r.net.Routers[0].stalls++ // want "compute-phase write to another router"
+}
+
+// computeTimed reads the observability clock from compute code
+// (forbidden: per-router wall-clock reads skew the phase attribution
+// the profiler reports; only the engine driver and worker loop may
+// bracket stages).
+func (r *Router) computeTimed() {
+	start := obs.Clock() // want "compute-phase call to obs.Clock"
+	r.stalls += int(start & 1)
+}
+
+// computeObserved reaches the profiler through a helper one call down;
+// the finding lands at the helper's call site.
+func (r *Router) computeObserved(p *obs.PhaseProfiler) { r.sample(p) }
+
+func (r *Router) sample(p *obs.PhaseProfiler) {
+	p.Observe(0, obs.PhaseEngine, 0) // want "compute-phase call to obs.Observe"
+}
+
+// commitTimed reads the clock from the serial half (allowed: traversal
+// prunes at commit*, whose cross-cutting effects are sanctioned).
+func (r *Router) commitTimed() {
+	r.stalls += int(obs.Clock() & 1)
+}
+
+// driverStep is not a compute root, so its obs use is the sanctioned
+// driver-side pattern and produces no finding.
+func (r *Router) driverStep(p *obs.PhaseProfiler) {
+	start := obs.Clock()
+	r.computeOwn()
+	p.Observe(0, obs.PhaseEngine, start)
 }
 
 // computeThenCommit hands off to the serial half; traversal prunes at

@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition
+// format (version 0.0.4) for the obs HTTP endpoint's /metrics handler.
+// The rendering inherits the registry's determinism contract: families
+// appear in sorted name order, so identical registry state produces
+// byte-identical exposition text.
+//
+// Mapping from the registry's metric kinds:
+//
+//	counter         -> counter
+//	gauge           -> gauge
+//	mean            -> summary (_sum/_count)
+//	histogram       -> summary with p50/p95/p99 quantile labels
+//
+// Dotted registry names become underscore-joined Prometheus names under
+// a namespace prefix: noc.router.3.link_flits -> disco_noc_router_3_link_flits.
+
+// PromName converts a dotted registry name into a legal Prometheus
+// metric name under namespace: dots become underscores and any
+// character outside [a-zA-Z0-9_:] is replaced with '_'. A leading
+// digit (impossible with a non-empty namespace) is prefixed with '_'.
+func PromName(namespace, dotted string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for _, c := range dotted {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if s == "" {
+		return "_"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return "_" + s
+	}
+	return s
+}
+
+// WritePrometheus snapshots the registry and writes the exposition
+// text under the namespace prefix.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	return WritePrometheusExport(w, namespace, r.Snapshot())
+}
+
+// WritePrometheusExport writes an already-taken Export as exposition
+// text. Splitting snapshot from render lets the cmp probe snapshot at a
+// commit boundary and the HTTP handler serve the pre-rendered bytes
+// without ever touching live simulation state.
+func WritePrometheusExport(w io.Writer, namespace string, ex Export) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(ex.Counters))
+	for n := range ex.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(namespace, n)
+		_, _ = fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, ex.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range ex.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(namespace, n)
+		_, _ = fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promF(ex.Gauges[n]))
+	}
+
+	names = names[:0]
+	for n := range ex.Means {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := ex.Means[n]
+		pn := PromName(namespace, n)
+		_, _ = fmt.Fprintf(bw, "# TYPE %s summary\n", pn)
+		_, _ = fmt.Fprintf(bw, "%s_sum %s\n", pn, promF(m.Mean*float64(m.N)))
+		_, _ = fmt.Fprintf(bw, "%s_count %d\n", pn, m.N)
+	}
+
+	names = names[:0]
+	for n := range ex.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := ex.Histograms[n]
+		pn := PromName(namespace, n)
+		_, _ = fmt.Fprintf(bw, "# TYPE %s summary\n", pn)
+		_, _ = fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", pn, promF(h.P50))
+		_, _ = fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", pn, promF(h.P95))
+		_, _ = fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %s\n", pn, promF(h.P99))
+		_, _ = fmt.Fprintf(bw, "%s_sum %s\n", pn, promF(h.Mean*float64(h.N)))
+		_, _ = fmt.Fprintf(bw, "%s_count %d\n", pn, h.N)
+	}
+
+	return bw.Flush()
+}
+
+// promF formats a sample value: Prometheus accepts Go's shortest
+// round-trip float form, including NaN/Inf spellings.
+func promF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CheckPrometheusText lints exposition text: every line must be a
+// comment (# HELP / # TYPE with a known type), blank, or a sample whose
+// name is legal and whose value parses as a float; sample base names
+// must have been declared by a preceding TYPE line. It is the validator
+// behind the CI /metrics smoke test — deliberately stricter than a
+// scraper, which would forgive an undeclared family.
+func CheckPrometheusText(r io.Reader) error {
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && f[1] == "HELP" {
+				continue
+			}
+			if len(f) == 4 && f[1] == "TYPE" {
+				switch f[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+					if !validPromName(f[2]) {
+						return fmt.Errorf("line %d: bad metric name %q in TYPE", lineNo, f[2])
+					}
+					typed[f[2]] = true
+					continue
+				}
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, f[3])
+			}
+			return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+		}
+		name, value := line, ""
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			name, value = line[:i], line[i+1:]
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("line %d: unterminated label set in %q", lineNo, line)
+			}
+			name = name[:i]
+		}
+		if !validPromName(name) {
+			return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+		}
+		if !typed[name] && !typed[strings.TrimSuffix(name, "_sum")] &&
+			!typed[strings.TrimSuffix(name, "_count")] &&
+			!typed[strings.TrimSuffix(name, "_bucket")] {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", lineNo, name)
+		}
+	}
+	return sc.Err()
+}
+
+// validPromName reports whether s is a legal Prometheus metric name.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := []struct{ ns, in, want string }{
+		{"disco", "noc.router.3.link_flits", "disco_noc_router_3_link_flits"},
+		{"disco", "cmp.tile.0.l1_hits", "disco_cmp_tile_0_l1_hits"},
+		{"", "a-b c", "a_b_c"},
+		{"", "0abc", "_0abc"},
+		{"", "", "_"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.ns, c.in); got != c.want {
+			t.Errorf("PromName(%q, %q) = %q, want %q", c.ns, c.in, got, c.want)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicAndLintable(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Scope("noc").Counter("injected").Add(12)
+		r.Scope("noc").Gauge("util").Set(0.25)
+		m := r.Scope("noc").Mean("latency")
+		m.Add(10)
+		m.Add(30)
+		h := r.Scope("cmp").Histogram("miss", 100, 10)
+		h.Add(55)
+		var b strings.Builder
+		if err := r.WritePrometheus(&b, "disco"); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Error("identical registries rendered different exposition text")
+	}
+
+	for _, want := range []string{
+		"# TYPE disco_noc_injected counter\ndisco_noc_injected 12\n",
+		"# TYPE disco_noc_util gauge\ndisco_noc_util 0.25\n",
+		"# TYPE disco_noc_latency summary\n",
+		"disco_noc_latency_sum 40\n",
+		"disco_noc_latency_count 2\n",
+		"disco_cmp_miss{quantile=\"0.5\"}",
+		"disco_cmp_miss_count 1\n",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("exposition missing %q:\n%s", want, a)
+		}
+	}
+	if err := CheckPrometheusText(strings.NewReader(a)); err != nil {
+		t.Errorf("own exposition fails lint: %v", err)
+	}
+}
+
+func TestCheckPrometheusText(t *testing.T) {
+	good := "# HELP x helps\n# TYPE x counter\nx 1\n" +
+		"# TYPE q summary\nq{quantile=\"0.5\"} 2.5\nq_sum 5\nq_count 2\n\n"
+	if err := CheckPrometheusText(strings.NewReader(good)); err != nil {
+		t.Errorf("valid text rejected: %v", err)
+	}
+
+	bad := []struct{ name, text string }{
+		{"undeclared sample", "x 1\n"},
+		{"bad value", "# TYPE x counter\nx one\n"},
+		{"bad type", "# TYPE x widget\nx 1\n"},
+		{"bad name", "# TYPE 9x counter\n9x 1\n"},
+		{"malformed comment", "# NOPE x\n"},
+		{"unterminated labels", "# TYPE x counter\nx{a=\"1\" 2\n"},
+	}
+	for _, c := range bad {
+		if err := CheckPrometheusText(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.text)
+		}
+	}
+}

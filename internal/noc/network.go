@@ -7,6 +7,7 @@ import (
 	"github.com/disco-sim/disco/internal/compress"
 	"github.com/disco-sim/disco/internal/fault"
 	"github.com/disco-sim/disco/internal/metrics"
+	"github.com/disco-sim/disco/internal/obs"
 	"github.com/disco-sim/disco/internal/stats"
 )
 
@@ -124,6 +125,10 @@ type Network struct {
 	// Metrics attachment (see AttachMetrics).
 	mreg      *metrics.Registry
 	minterval uint64
+
+	// Stage-level wall-clock profiler (see profile.go); nil unless
+	// AttachProfiler armed it. Purely observational by contract.
+	prof *obs.PhaseProfiler
 }
 
 // creditRestore schedules the return of one fault-dropped credit. The
@@ -287,6 +292,10 @@ func (n *Network) decodeComp(c compress.Compressed) ([]byte, error) {
 // byte stream — are identical at any worker count.
 func (n *Network) Step() {
 	n.stepping = true
+	// Profiling stamps (profile.go): t threads through the serial
+	// regions on the driver lane; compute-stage and barrier attribution
+	// on the parallel engine happens inside runStage/workerPool.
+	t := n.profClock()
 	// Serial prologue: due credit recoveries land (fault injection only;
 	// the queue is ordered by restore cycle), then link arrivals land in
 	// input buffers — these are last cycle's committed effects becoming
@@ -321,6 +330,7 @@ func (n *Network) Step() {
 	for i, r := range n.Routers {
 		busy[i] = r.busy()
 	}
+	t = n.profMark(obs.PhaseOther, t)
 	if n.pool == nil {
 		// Serial engine: the same stage sequence with direct dispatch.
 		// Compute and commit must NOT fuse per router even serially —
@@ -333,53 +343,64 @@ func (n *Network) Step() {
 				r.computeEngine()
 			}
 		}
+		t = n.profMark(obs.PhaseEngine, t)
 		for i, r := range n.Routers {
 			if busy[i] {
 				r.computeSA()
 			}
 		}
+		t = n.profMark(obs.PhaseSA, t)
 		for i, r := range n.Routers {
 			if busy[i] {
 				r.commitSA()
 			}
 		}
+		t = n.profMark(obs.PhaseCommit, t)
 		for i, r := range n.Routers {
 			if busy[i] {
 				r.computeAlloc()
 			}
 		}
+		t = n.profMark(obs.PhaseAlloc, t)
 		for i, r := range n.Routers {
 			if busy[i] {
 				r.commitArb()
 			}
 		}
+		t = n.profMark(obs.PhaseCommit, t)
 	} else {
 		// Stage: DISCO engines (commit, absorb, complete) — pure
 		// compute, no shared effects beyond the staged traces.
-		n.runStage(busy, (*Router).computeEngine)
+		n.runStage(busy, obs.PhaseEngine, (*Router).computeEngine)
+		t = n.profClock()
 		n.flushTraces(busy)
+		t = n.profMark(obs.PhaseCommit, t)
 		// Stage: switch allocation — compute arbitrates against
 		// prior-cycle credits, commit applies stall bookkeeping and
 		// winner traversals (flit moves, credit reservations,
 		// ejections, fault draws).
-		n.runStage(busy, (*Router).computeSA)
+		n.runStage(busy, obs.PhaseSA, (*Router).computeSA)
+		t = n.profClock()
 		for i, r := range n.Routers {
 			if busy[i] {
 				r.commitSA()
 			}
 		}
+		t = n.profMark(obs.PhaseCommit, t)
 		// Stage: allocation-side computes (VA, RC, DISCO arbitration
 		// fused per router), then the arbitration commit (engine job
 		// starts). Alloc compute and commit do NOT fuse per router even
 		// serially: both emit traces, and fusing would interleave them
 		// differently than the staged flush.
-		n.runStage(busy, (*Router).computeAlloc)
+		n.runStage(busy, obs.PhaseAlloc, (*Router).computeAlloc)
+		t = n.profClock()
 		n.flushTraces(busy)
 		for i, r := range n.Routers {
 			if busy[i] {
 				r.commitArb()
 			}
 		}
+		t = n.profMark(obs.PhaseCommit, t)
 	}
 	// Serial epilogue: NI injection (one flit per node per cycle).
 	for node := range n.ni {
@@ -388,6 +409,10 @@ func (n *Network) Step() {
 	n.Cycle++
 	n.stepping = false
 	n.sampleMetrics()
+	if n.prof != nil {
+		n.prof.Observe(0, obs.PhaseOther, t)
+		n.prof.AddStep()
+	}
 }
 
 // stepInjection assigns queued packets to free local input VCs and

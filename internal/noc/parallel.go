@@ -3,6 +3,8 @@ package noc
 import (
 	"sync"
 	"sync/atomic"
+
+	"github.com/disco-sim/disco/internal/obs"
 )
 
 // This file is the parallel half of the two-phase cycle engine (see
@@ -32,6 +34,13 @@ type workerPool struct {
 	fn      func(*Router)
 	n       int
 	cursor  atomic.Int64
+
+	// Profiling inputs for the current run (nil prof = disarmed), set by
+	// the caller with the rest of the job state: each worker attributes
+	// its own work() span to (its lane, phase). Published to the workers
+	// by the wake sends like every other job field.
+	prof  *obs.PhaseProfiler
+	phase obs.Phase
 }
 
 // newWorkerPool starts extra parked worker goroutines.
@@ -40,9 +49,17 @@ func newWorkerPool(extra int) *workerPool {
 	for i := range p.wake {
 		ch := make(chan struct{}, 1)
 		p.wake[i] = ch
+		// Worker i samples into profiler lane i+1 (lane 0 is the caller).
+		lane := i + 1
 		go func() {
 			for range ch {
-				p.work()
+				if prof := p.prof; prof != nil {
+					start := obs.Clock()
+					p.work()
+					prof.Observe(lane, p.phase, start)
+				} else {
+					p.work()
+				}
 				p.wg.Done()
 			}
 		}()
@@ -57,17 +74,30 @@ func newWorkerPool(extra int) *workerPool {
 const poolChunk = 8
 
 // run applies fn to every busy router, sharded across the workers, and
-// returns once all calls completed (the commit barrier).
-func (p *workerPool) run(routers []*Router, busy []bool, fn func(*Router)) {
+// returns once all calls completed (the commit barrier). With a profiler
+// armed, the caller attributes its own share to (lane 0, phase) and the
+// wait for the other workers to PhaseBarrier; the parked workers stamp
+// their own lanes (see newWorkerPool).
+func (p *workerPool) run(routers []*Router, busy []bool, fn func(*Router), prof *obs.PhaseProfiler, phase obs.Phase) {
 	p.routers, p.busy, p.fn, p.n = routers, busy, fn, len(routers)
+	p.prof, p.phase = prof, phase
 	p.cursor.Store(0)
 	p.wg.Add(p.extra)
 	for _, ch := range p.wake {
 		ch <- struct{}{}
 	}
-	p.work() // the calling goroutine is a worker too
-	p.wg.Wait()
-	p.routers, p.busy, p.fn = nil, nil, nil
+	if prof == nil {
+		p.work() // the calling goroutine is a worker too
+		p.wg.Wait()
+	} else {
+		start := obs.Clock()
+		p.work()
+		wait := obs.Clock()
+		prof.Observe(0, phase, start)
+		p.wg.Wait()
+		prof.Observe(0, obs.PhaseBarrier, wait)
+	}
+	p.routers, p.busy, p.fn, p.prof = nil, nil, nil, nil
 }
 
 // work drains chunks of indices until the cursor runs past the job size.
@@ -150,16 +180,21 @@ func (n *Network) AtCommitBoundary() bool { return !n.stepping }
 // serial engine, sharded across the pool otherwise. f must follow the
 // compute-phase contract — read prior-cycle state, write only
 // router-local state (staged effects, own scratch, own VC/engine fields).
-func (n *Network) runStage(busy []bool, f func(*Router)) {
+// ph names the stage for the profiler (ignored when disarmed).
+func (n *Network) runStage(busy []bool, ph obs.Phase, f func(*Router)) {
 	if n.pool == nil {
+		start := n.profClock()
 		for i, r := range n.Routers {
 			if busy[i] {
 				f(r)
 			}
 		}
+		if n.prof != nil {
+			n.prof.Observe(0, ph, start)
+		}
 		return
 	}
-	n.pool.run(n.Routers, busy, f)
+	n.pool.run(n.Routers, busy, f, n.prof, ph)
 }
 
 // flushTraces replays the trace events staged by a parallel compute

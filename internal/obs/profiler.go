@@ -1,0 +1,171 @@
+// Package obs is the simulator's runtime observability layer: a
+// stage-level wall-clock profiler for the two-phase cycle engine, a
+// structured stderr reporter, and an HTTP endpoint serving metrics and
+// live status.
+//
+// The package's hard invariant is that it is purely observational:
+// nothing here may feed back into simulation state, so artifacts
+// (traces, stats, metrics exports) are byte-identical with observability
+// on or off — the golden gates in obs_test and internal/noc enforce it.
+//
+// obs is the repo's one sanctioned wall-clock island. The nodeterminism
+// analyzer bans time.Now from every sim-core package but exempts this
+// one: profiler samples are written to per-worker lanes (write-local, no
+// cross-goroutine contention beyond atomic adds) and only ever READ at
+// commit boundaries, so wall-clock values cannot perturb the simulated
+// schedule. The phasesafety analyzer closes the loophole from the other
+// side: calling into obs from compute-phase router code is a finding —
+// sampling belongs to the Step driver, never to sharded compute.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one timed region of a Network.Step — the pipeline
+// stages of the two-phase engine plus the synchronization they need.
+type Phase uint8
+
+// Profiled phases. Compute phases (Engine, SA, Alloc) are attributed
+// per worker on the parallel engine; Commit, Barrier and Other always
+// accrue to lane 0 (the Step driver).
+const (
+	// PhaseEngine is the DISCO engine-service compute stage.
+	PhaseEngine Phase = iota
+	// PhaseSA is the switch-allocation compute stage.
+	PhaseSA
+	// PhaseAlloc is the fused VA+RC+DISCO-arbitration compute stage.
+	PhaseAlloc
+	// PhaseCommit covers the serial commit halves (SA commit, arb
+	// commit) and the canonical-order staged-trace flushes.
+	PhaseCommit
+	// PhaseBarrier is time the Step driver spends waiting for pool
+	// workers to drain a compute stage.
+	PhaseBarrier
+	// PhaseOther is everything else in a Step: link-arrival prologue,
+	// NI injection epilogue, metrics sampling.
+	PhaseOther
+	// NumPhases bounds the phase space.
+	NumPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseEngine:
+		return "engine"
+	case PhaseSA:
+		return "sa"
+	case PhaseAlloc:
+		return "alloc"
+	case PhaseCommit:
+		return "commit"
+	case PhaseBarrier:
+		return "barrier"
+	case PhaseOther:
+		return "other"
+	}
+	return "phase(?)"
+}
+
+// Phases lists every phase in display order.
+func Phases() []Phase {
+	return []Phase{PhaseEngine, PhaseSA, PhaseAlloc, PhaseCommit, PhaseBarrier, PhaseOther}
+}
+
+// Clock returns a monotonic wall-clock stamp in nanoseconds. It is the
+// sampling primitive the noc hooks use so that no sim-core package ever
+// touches the time package directly.
+func Clock() int64 { return int64(time.Since(clockEpoch)) }
+
+// clockEpoch anchors Clock; only durations (differences of stamps) are
+// ever used, so the epoch itself is arbitrary.
+var clockEpoch = time.Now()
+
+// lane is one worker's phase accumulators. The padding keeps adjacent
+// workers' hot counters off each other's cache lines: lanes are written
+// concurrently by different pool goroutines during a sharded stage.
+type lane struct {
+	ns [NumPhases]atomic.Int64
+	_  [64]byte
+}
+
+// PhaseProfiler accumulates wall-clock nanoseconds per pipeline phase
+// per worker. Writes are lane-local atomic adds (safe under the pool's
+// concurrency and cheap enough for per-stage sampling); reads — Report,
+// the HTTP status probe — may happen from any goroutine at any time and
+// see a consistent-enough live picture, with exact totals guaranteed at
+// commit boundaries (the pool barrier orders every lane write before the
+// driver continues).
+//
+// A nil *PhaseProfiler is inert: the noc hooks check for nil before
+// taking any stamp, so an unprofiled run pays one predictable branch per
+// stage and nothing else.
+type PhaseProfiler struct {
+	lanes []lane
+	steps atomic.Uint64
+	start int64
+}
+
+// NewPhaseProfiler returns a profiler with workers lanes (lane 0 is the
+// Step driver; pool workers use 1..workers-1). workers < 1 is clamped
+// to 1.
+func NewPhaseProfiler(workers int) *PhaseProfiler {
+	if workers < 1 {
+		workers = 1
+	}
+	return &PhaseProfiler{lanes: make([]lane, workers), start: Clock()}
+}
+
+// Workers returns the lane count.
+func (p *PhaseProfiler) Workers() int { return len(p.lanes) }
+
+// Observe adds the elapsed time since the start stamp to (lane, phase).
+// Lanes beyond the configured worker count fold into lane 0 so a
+// worker-count change after attachment cannot write out of bounds.
+func (p *PhaseProfiler) Observe(lane int, phase Phase, start int64) {
+	if lane < 0 || lane >= len(p.lanes) {
+		lane = 0
+	}
+	p.lanes[lane].ns[phase].Add(Clock() - start)
+}
+
+// AddStep counts one completed Network.Step.
+func (p *PhaseProfiler) AddStep() { p.steps.Add(1) }
+
+// Steps returns the completed-step count.
+func (p *PhaseProfiler) Steps() uint64 { return p.steps.Load() }
+
+// Elapsed returns wall-clock nanoseconds since construction (or the
+// last Reset).
+func (p *PhaseProfiler) Elapsed() int64 { return Clock() - p.start }
+
+// PhaseNS returns the accumulated nanoseconds for (lane, phase).
+func (p *PhaseProfiler) PhaseNS(lane int, phase Phase) int64 {
+	if lane < 0 || lane >= len(p.lanes) {
+		return 0
+	}
+	return p.lanes[lane].ns[phase].Load()
+}
+
+// TotalNS sums a phase over all lanes.
+func (p *PhaseProfiler) TotalNS(phase Phase) int64 {
+	var sum int64
+	for i := range p.lanes {
+		sum += p.lanes[i].ns[phase].Load()
+	}
+	return sum
+}
+
+// Reset zeroes every accumulator and restarts the elapsed clock (used
+// between scaling-curve cells so one profiler can serve a sweep).
+func (p *PhaseProfiler) Reset() {
+	for i := range p.lanes {
+		for ph := range p.lanes[i].ns {
+			p.lanes[i].ns[ph].Store(0)
+		}
+	}
+	p.steps.Store(0)
+	p.start = Clock()
+}

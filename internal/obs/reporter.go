@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Reporter is the single structured channel for human-facing diagnostic
+// output. discosim used to hand-roll three stderr formats (the simrun
+// cache-stats line, the stall-snapshot dump, ad-hoc error lines); every
+// such message now flows through one Reporter so the output shares a
+// prefix, single-line messages and multi-line blocks render uniformly,
+// and concurrent writers (the scheduler's drain goroutines, deferred
+// summaries) cannot interleave mid-line.
+type Reporter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	tag string
+}
+
+// NewReporter returns a reporter writing "tag: ..."-prefixed messages
+// to w. A nil *Reporter is valid and discards everything, so callers
+// can thread one through without nil checks at every site.
+func NewReporter(w io.Writer, tag string) *Reporter {
+	return &Reporter{w: w, tag: tag}
+}
+
+// Infof writes one prefixed line.
+func (r *Reporter) Infof(format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, _ = fmt.Fprintf(r.w, "%s: %s\n", r.tag, fmt.Sprintf(format, args...))
+}
+
+// Block writes a prefixed title line followed by the body, each body
+// line indented two spaces. Used for multi-line payloads — the stall
+// snapshot, the profiler table — so they read as one unit under the
+// reporter's prefix.
+func (r *Reporter) Block(title, body string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, _ = fmt.Fprintf(r.w, "%s: %s\n", r.tag, title)
+	body = strings.TrimRight(body, "\n")
+	if body == "" {
+		return
+	}
+	for _, line := range strings.Split(body, "\n") {
+		_, _ = fmt.Fprintf(r.w, "  %s\n", line)
+	}
+}

@@ -38,6 +38,7 @@ type Runner struct {
 	cache    map[Key]*cell // single-flight memo (nil when memoization is off)
 	hits     uint64
 	executed uint64
+	done     uint64 // cells completed (simulated or canceled)
 	canceled bool
 	firstErr error
 }
@@ -76,6 +77,10 @@ type Stats struct {
 	Hits uint64
 	// Executed counts simulations actually run.
 	Executed uint64
+	// Done counts distinct cells whose futures have completed (simulated
+	// or canceled) — the live campaign-progress number the obs /status
+	// endpoint reports while experiments run.
+	Done uint64
 }
 
 // New returns a runner with the given worker count (<= 0 selects
@@ -102,7 +107,7 @@ func (r *Runner) Memoized() bool { return r.cache != nil }
 func (r *Runner) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return Stats{Submitted: r.hits + r.executed, Hits: r.hits, Executed: r.executed}
+	return Stats{Submitted: r.hits + r.executed, Hits: r.hits, Executed: r.executed, Done: r.done}
 }
 
 // Submit schedules run under key and returns a future for its result.
@@ -149,16 +154,18 @@ func (r *Runner) drain() {
 		if canceled {
 			j.c.err = fmt.Errorf("simrun: canceled after earlier failure: %w", firstErr)
 			close(j.c.done)
+			r.mu.Lock()
+			r.done++
+			r.mu.Unlock()
 			continue
 		}
 		j.c.res, j.c.err = runCell(j.run)
-		if j.c.err != nil {
-			r.mu.Lock()
-			if !r.canceled {
-				r.canceled, r.firstErr = true, j.c.err
-			}
-			r.mu.Unlock()
+		r.mu.Lock()
+		if j.c.err != nil && !r.canceled {
+			r.canceled, r.firstErr = true, j.c.err
 		}
+		r.done++
+		r.mu.Unlock()
 		close(j.c.done)
 	}
 }

@@ -2,6 +2,7 @@ package tracefmt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
@@ -84,6 +85,132 @@ func TestTruncatedRecordReported(t *testing.T) {
 	}
 	if _, err := r.Next(); err == nil {
 		t.Error("truncated record should error")
+	}
+}
+
+// TestTruncatedHeader pins NewReader's behavior on every header cut
+// point: inside the magic, after it, and inside the varint fields.
+func TestTruncatedHeader(t *testing.T) {
+	full := AppendHeader(nil, 300) // nodes=300 needs a 2-byte uvarint
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := NewReader(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("header truncated to %d of %d bytes accepted", cut, len(full))
+		}
+	}
+	if _, err := NewReader(bytes.NewReader(full)); err != nil {
+		t.Errorf("intact header rejected: %v", err)
+	}
+}
+
+// TestImplausibleRecordLength pins the corruption guard on the length
+// prefix: zero and anything beyond maxRecordLen are structural errors,
+// not allocations.
+func TestImplausibleRecordLength(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		length uint64
+	}{
+		{"zero length", 0},
+		{"oversized length", maxRecordLen + 1},
+	} {
+		buf := AppendHeader(nil, 4)
+		var tmp [10]byte
+		n := binary.PutUvarint(tmp[:], c.length)
+		buf = append(buf, tmp[:n]...)
+		r, err := NewReader(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = r.Next()
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("%s: want implausible-length error, got %v", c.name, err)
+		}
+	}
+}
+
+// TestCorruptMidVarint cuts a varint mid-field but keeps the record
+// length honest: the payload ends inside the cycle field's continuation
+// bytes, which must surface as a corrupt-record error rather than a
+// silent zero.
+func TestCorruptMidVarint(t *testing.T) {
+	payload := []byte{byte(KindRoute), 0x80} // cycle varint: continuation bit, then nothing
+	buf := AppendHeader(nil, 4)
+	buf = append(buf, byte(len(payload)))
+	buf = append(buf, payload...)
+	r, err := NewReader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("want corrupt-record error for mid-varint cut, got %v", err)
+	}
+}
+
+// TestUnknownEventKind pins forward compatibility: a kind code this
+// reader does not know decodes without error (analyzers skip what they
+// do not recognize) and stringifies as kind(N).
+func TestUnknownEventKind(t *testing.T) {
+	payload := []byte{200, 5, 4, 0} // kind 200, cycle 5, router 2, no packet
+	buf := AppendHeader(nil, 4)
+	buf = append(buf, byte(len(payload)))
+	buf = append(buf, payload...)
+	r, err := NewReader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatalf("unknown kind should decode: %v", err)
+	}
+	if rec.Kind != Kind(200) || rec.Cycle != 5 || rec.Router != 2 {
+		t.Errorf("decoded %+v, want kind 200 at cycle 5 router 2", rec)
+	}
+	if got := rec.Kind.String(); got != "kind(200)" {
+		t.Errorf("Kind.String() = %q, want kind(200)", got)
+	}
+}
+
+// TestShortRecordZeroFills pins backward compatibility: a payload that
+// ends exactly on a field boundary (an older writer that knew fewer
+// fields) decodes cleanly with the missing fields zeroed, unlike the
+// mid-varint cut above.
+func TestShortRecordZeroFills(t *testing.T) {
+	payload := []byte{byte(KindStall), 9, 6} // cycle 9, router 3; flags byte absent
+	buf := AppendHeader(nil, 4)
+	buf = append(buf, byte(len(payload)))
+	buf = append(buf, payload...)
+	r, err := NewReader(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatalf("field-boundary short record should decode: %v", err)
+	}
+	want := Record{Kind: KindStall, Cycle: 9, Router: 3}
+	if rec != want {
+		t.Errorf("decoded %+v, want %+v", rec, want)
+	}
+}
+
+// TestTruncatedBodyIsUnexpectedEOF pins the error identity contract
+// readers dispatch on: truncation inside a record body is
+// io.ErrUnexpectedEOF (never a clean io.EOF), at every cut point.
+func TestTruncatedBodyIsUnexpectedEOF(t *testing.T) {
+	rec := Record{Cycle: 5, Router: 1, Kind: KindEject, HasPacket: true,
+		Pkt: PacketInfo{ID: 9, Flits: 4, Queueing: 300, EngineStall: 7}}
+	header := AppendHeader(nil, 4)
+	full := AppendRecord(header, &rec)
+	for cut := len(header) + 2; cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = r.Next()
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut at %d of %d: want io.ErrUnexpectedEOF, got %v", cut, len(full), err)
+		}
 	}
 }
 
