@@ -54,9 +54,12 @@ cover:
 		if (p + 0 < floor + 0) { printf "internal/noc coverage %s%% is below the %s%% floor\n", p, floor; exit 1 } \
 		printf "internal/noc coverage %s%% (floor %s%%)\n", p, floor }'
 
-# Short native-fuzzing pass over the compressor decoders.
+# Short native-fuzzing pass over the compressor decoders plus the
+# kernel/reference differential target (one -fuzz invocation each:
+# go test requires the pattern to match exactly one target).
 fuzz-smoke:
-	$(GO) test -run TestNone -fuzz=Fuzz -fuzztime=10s ./internal/compress
+	$(GO) test -run TestNone -fuzz='^FuzzDecompress$$' -fuzztime=10s ./internal/compress
+	$(GO) test -run TestNone -fuzz='^FuzzKernelEquivalence$$' -fuzztime=10s ./internal/compress
 
 # Fault-injection smoke: each fault class alone and all of them combined,
 # at two seeds each, on a short full-system DISCO run. Every cell must
@@ -113,5 +116,7 @@ bench-compare:
 	$(GO) run ./cmd/benchcmp -baseline bench/bench.txt -new bench/new.txt \
 		-gate '^BenchmarkCompress|^BenchmarkDecompress|^BenchmarkNoCStep' -max-regress 10 \
 		-speedup 'BenchmarkNoCStepMesh8Serial=BenchmarkNoCStepMesh8Workers4' -min-speedup 1.5
+	$(GO) run ./cmd/benchcmp -baseline bench/baseline_pr6.txt -new bench/new.txt \
+		-require 'BenchmarkCompressSC2=50,BenchmarkNoCStepMesh8Serial=30'
 
 ci: build lint race test-race-parallel cover fuzz-smoke chaos-smoke

@@ -206,6 +206,16 @@ func BenchmarkCompressCPack(b *testing.B) { benchCompress(b, compress.NewCPack()
 // BenchmarkCompressSC2 measures the SC² codec throughput.
 func BenchmarkCompressSC2(b *testing.B) { benchCompress(b, compress.NewSC2()) }
 
+// BenchmarkCompressHybrid measures the fused probe-then-encode selection
+// path: one shared scan feeds every probe-aware unit; only the winner
+// (or a non-probe fallback like CPack) runs a full encode.
+func BenchmarkCompressHybrid(b *testing.B) {
+	s := compress.NewSC2()
+	s.Train(benchBlocks())
+	benchCompress(b, compress.NewHybrid(
+		compress.NewDelta(), compress.NewBDI(), compress.NewFPC(), s))
+}
+
 // BenchmarkDecompressDelta measures delta decode throughput.
 func BenchmarkDecompressDelta(b *testing.B) {
 	alg := compress.NewDelta()

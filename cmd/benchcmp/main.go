@@ -14,6 +14,11 @@
 // speedup. -min-speedup fails the run when the ratio is below the floor,
 // but only when the run had more than one CPU (GOMAXPROCS suffix > 1):
 // single-CPU hosts report the ratio without enforcing it.
+//
+// With -require 'Name=PCT,...', each named benchmark's ns/op must IMPROVE
+// by at least PCT percent over the baseline ((old-new)/old*100 >= PCT) or
+// the run fails — the inverse of -gate: it locks in a won optimization
+// instead of merely bounding a regression.
 package main
 
 import (
@@ -129,6 +134,72 @@ func compare(old, new map[string]benchResult, gate *regexp.Regexp, maxRegress fl
 	return b.String(), failed
 }
 
+// requirement is one -require entry: benchmark name and its improvement
+// floor in percent.
+type requirement struct {
+	name string
+	pct  float64
+}
+
+// parseRequire parses 'Name=PCT,Name=PCT,...' (names may omit the
+// Benchmark prefix).
+func parseRequire(spec string) ([]requirement, error) {
+	var reqs []requirement
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("benchcmp: bad -require entry %q, want Name=PCT", part)
+		}
+		pct, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad -require floor in %q: %w", part, err)
+		}
+		name := kv[0]
+		if !strings.HasPrefix(name, "Benchmark") {
+			name = "Benchmark" + name
+		}
+		reqs = append(reqs, requirement{name: name, pct: pct})
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("benchcmp: empty -require spec %q", spec)
+	}
+	return reqs, nil
+}
+
+// checkRequired verifies each required benchmark improved its ns/op by at
+// least its floor; improvement is (old-new)/old*100. Returns the report
+// lines and the failed requirement names.
+func checkRequired(old, cur map[string]benchResult, reqs []requirement) (string, []string, error) {
+	var b strings.Builder
+	var failed []string
+	for _, rq := range reqs {
+		o, ok := old[rq.name]
+		if !ok {
+			return "", nil, fmt.Errorf("benchcmp: -require benchmark %s missing from baseline", rq.name)
+		}
+		nw, ok := cur[rq.name]
+		if !ok {
+			return "", nil, fmt.Errorf("benchcmp: -require benchmark %s missing from new results", rq.name)
+		}
+		if o.NsPerOp == 0 {
+			return "", nil, fmt.Errorf("benchcmp: -require benchmark %s has zero baseline ns/op", rq.name)
+		}
+		improved := (o.NsPerOp - nw.NsPerOp) / o.NsPerOp * 100
+		mark := fmt.Sprintf("  [>= %.0f%% floor]", rq.pct)
+		if improved < rq.pct {
+			mark = fmt.Sprintf("  << BELOW %.0f%% FLOOR", rq.pct)
+			failed = append(failed, rq.name)
+		}
+		fmt.Fprintf(&b, "require %s: %.1f%% faster%s\n",
+			strings.TrimPrefix(rq.name, "Benchmark"), improved, mark)
+	}
+	return b.String(), failed, nil
+}
+
 // speedup reports the wall-clock ratio between a serial benchmark and
 // its parallel-engine counterpart, both read from the NEW results (the
 // pair measures this machine, so comparing against a baseline from
@@ -176,6 +247,7 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 10, "allowed ns/op regression for gated benchmarks, percent")
 		speedPair  = flag.String("speedup", "", "SERIAL=PARALLEL benchmark pair: report new-run speedup of PARALLEL over SERIAL")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail when the -speedup ratio is below this (only on multi-CPU runs)")
+		requireStr = flag.String("require", "", "'Name=PCT,...': each benchmark must improve ns/op by at least PCT percent over the baseline")
 	)
 	flag.Parse()
 	if *newFile == "" {
@@ -213,6 +285,21 @@ func main() {
 		fmt.Print(line)
 		tooSlow = slow
 	}
+	var unmet []string
+	if *requireStr != "" {
+		reqs, err := parseRequire(*requireStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		lines, miss, err := checkRequired(old, cur, reqs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(lines)
+		unmet = miss
+	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchcmp: %d gated benchmark(s) regressed more than %.0f%%: %s\n",
 			len(failed), *maxRegress, strings.Join(failed, ", "))
@@ -220,6 +307,11 @@ func main() {
 	}
 	if tooSlow {
 		fmt.Fprintf(os.Stderr, "benchcmp: parallel-engine speedup below the %.1fx floor\n", *minSpeedup)
+		os.Exit(1)
+	}
+	if len(unmet) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d required improvement(s) not met: %s\n",
+			len(unmet), strings.Join(unmet, ", "))
 		os.Exit(1)
 	}
 }

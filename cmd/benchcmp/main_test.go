@@ -153,6 +153,61 @@ func TestSpeedupErrors(t *testing.T) {
 	}
 }
 
+func TestParseRequire(t *testing.T) {
+	reqs, err := parseRequire("CompressSC2=50, BenchmarkNoCStepMesh8Serial=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("parsed %d requirements, want 2: %v", len(reqs), reqs)
+	}
+	// Names normalize to the Benchmark prefix either way.
+	if reqs[0].name != "BenchmarkCompressSC2" || reqs[0].pct != 50 {
+		t.Errorf("req[0] = %+v", reqs[0])
+	}
+	if reqs[1].name != "BenchmarkNoCStepMesh8Serial" || reqs[1].pct != 30 {
+		t.Errorf("req[1] = %+v", reqs[1])
+	}
+	for _, bad := range []string{"", "NoEquals", "=50", "X=notanumber"} {
+		if _, err := parseRequire(bad); err == nil {
+			t.Errorf("parseRequire(%q) should error", bad)
+		}
+	}
+}
+
+func TestCheckRequired(t *testing.T) {
+	old := parse(t, oldBench)
+	cur := parse(t, newBench)
+	// CompressDelta improved 1625 -> 1100 = 32.3%.
+	reqs := []requirement{{name: "BenchmarkCompressDelta", pct: 30}}
+	lines, failed, err := checkRequired(old, cur, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Errorf("32%% improvement must pass a 30%% floor: %v", failed)
+	}
+	if !strings.Contains(lines, "32.3% faster") {
+		t.Errorf("report %q should carry the measured improvement", lines)
+	}
+	// A floor above the measured improvement fails.
+	reqs[0].pct = 40
+	if _, failed, _ := checkRequired(old, cur, reqs); len(failed) != 1 {
+		t.Error("32%% improvement must fail a 40%% floor")
+	}
+	// A regression (FPC 6476 -> 7500) fails any positive floor.
+	if _, failed, _ := checkRequired(old, cur,
+		[]requirement{{name: "BenchmarkCompressFPC", pct: 10}}); len(failed) != 1 {
+		t.Error("a regression must fail a required improvement")
+	}
+	// Missing benchmarks are hard errors, not silent passes.
+	for _, name := range []string{"BenchmarkNope", "BenchmarkBlockContent"} {
+		if _, _, err := checkRequired(old, cur, []requirement{{name: name, pct: 1}}); err == nil {
+			t.Errorf("checkRequired(%s) should error on a missing side", name)
+		}
+	}
+}
+
 func TestDeltaPct(t *testing.T) {
 	if d := deltaPct(100, 90); d != -10 {
 		t.Errorf("deltaPct(100,90) = %v", d)

@@ -34,8 +34,10 @@ type bdiEncoding struct {
 }
 
 // bdiGeometries lists the candidate geometries in the order the original
-// hardware evaluates them (all in parallel; ties broken by size).
-var bdiGeometries = []bdiEncoding{
+// hardware evaluates them (all in parallel; ties broken by size). An
+// array, so len(bdiGeometries) is a constant the kernel's probe-fact
+// storage can use.
+var bdiGeometries = [...]bdiEncoding{
 	{2, 8, 1}, {3, 8, 2}, {4, 8, 4},
 	{5, 4, 1}, {6, 4, 2},
 	{7, 2, 1},
@@ -44,128 +46,133 @@ var bdiGeometries = []bdiEncoding{
 // bdiEncodingBits is the per-block metadata cost: a 4-bit encoding tag.
 const bdiEncodingBits = 4
 
-// Compress implements Algorithm.
-func (a *BDI) Compress(block []byte) Compressed {
-	checkBlock(block)
-	if isZeroBlock(block) {
-		// Zero block: 1-byte representation (encoding tag + nothing).
-		return Compressed{Alg: a.Name(), SizeBits: bdiEncodingBits + 4, Payload: []byte{0}}
-	}
-	if rep, ok := repeatedValue(block); ok {
-		p := make([]byte, 1+8)
-		p[0] = 1
-		binary.LittleEndian.PutUint64(p[1:], rep)
-		return Compressed{Alg: a.Name(), SizeBits: bdiEncodingBits + 64, Payload: p}
-	}
-	best := Compressed{SizeBits: 8 * BlockSize}
-	found := false
-	for _, g := range bdiGeometries {
-		c, ok := bdiTry(a.Name(), block, g)
-		if ok && (!found || c.SizeBits < best.SizeBits) {
-			best, found = c, true
+// bdiRepEncoding builds the repeated-8-byte-value special case.
+func bdiRepEncoding(name string, rep uint64) Compressed {
+	p := make([]byte, 1+8)
+	p[0] = 1
+	binary.LittleEndian.PutUint64(p[1:], rep)
+	return Compressed{Alg: name, SizeBits: bdiEncodingBits + 64, Payload: p}
+}
+
+// bdiBestGeometry picks the winning geometry from probe facts: the
+// first strictly-smallest feasible candidate, in hardware evaluation
+// order — exactly the old try-them-all loop's selection.
+func bdiBestGeometry(facts *[len(bdiGeometries)]bdiFact) int {
+	best := -1
+	for gi := range facts {
+		if !facts[gi].feasible {
+			continue
+		}
+		if best < 0 || facts[gi].sizeBits < facts[best].sizeBits {
+			best = gi
 		}
 	}
-	if found && best.SizeBits < 8*BlockSize {
-		return best
-	}
-	return stored(a.Name(), block)
+	return best
 }
 
-// isZeroBlock reports whether every byte is zero.
-func isZeroBlock(block []byte) bool {
-	for _, b := range block {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// repeatedValue reports whether the block is a single 8-byte value
-// repeated, returning that value.
-func repeatedValue(block []byte) (uint64, bool) {
-	v := binary.LittleEndian.Uint64(block)
-	for i := FlitBytes; i < BlockSize; i += FlitBytes {
-		if binary.LittleEndian.Uint64(block[i:]) != v {
-			return 0, false
-		}
-	}
-	return v, true
-}
-
-// bdiElement reads the i-th base-width element as an unsigned value.
-func bdiElement(block []byte, width, i int) uint64 {
-	switch width {
-	case 8:
-		return binary.LittleEndian.Uint64(block[i*8:])
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(block[i*4:]))
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(block[i*2:]))
-	}
-	panic("compress: bad BDI width")
-}
-
-// bdiTry attempts one geometry. The explicit base is the first element
-// whose delta against zero does not fit (as in the original design); if
-// every element is near zero the zero base alone suffices.
-func bdiTry(alg string, block []byte, g bdiEncoding) (Compressed, bool) {
+// bdiLayout lays out one geometry known feasible (probe facts supply
+// the base), replaying the per-element base selection of the scan: zero
+// base when the sign-extended element fits, else the explicit base with
+// the mask bit set. Only the winner's payload is ever allocated.
+func bdiLayout(name string, lanes *[BlockSize / FlitBytes]uint64, ws *[16]uint32, gi int, f *bdiFact) Compressed {
+	g := &bdiGeometries[gi]
 	n := BlockSize / g.baseBytes
 	dbits := 8 * g.deltaByts
-	var base uint64
-	haveBase := false
-	// Pass 1: find the explicit base.
-	for i := 0; i < n; i++ {
-		e := bdiElement(block, g.baseBytes, i)
-		if !fitsSigned(int64(signExtendWidth(e, g.baseBytes)), dbits) {
-			base, haveBase = e, true
-			break
+	baseBytes := 0
+	if f.haveBase {
+		baseBytes = g.baseBytes
+	}
+	maskLen := (n + 7) / 8
+	payload := make([]byte, 2+maskLen+baseBytes+n*g.deltaByts)
+	payload[0] = g.id
+	if f.haveBase {
+		payload[1] = 1
+		for b := 0; b < g.baseBytes; b++ {
+			payload[2+b] = byte(f.base >> uint(8*b))
 		}
 	}
-	// Pass 2: encode deltas and the base-select mask. Both are bounded by
-	// the block geometry (n <= BlockSize/2 elements, len(deltas) <
-	// BlockSize), so fixed-size backing arrays keep the scratch off the
-	// heap; only the returned payload is allocated.
-	var maskArr [BlockSize / 8]byte
-	var deltaArr [BlockSize]byte
-	mask := maskArr[:(n+7)/8]
-	deltas := deltaArr[:0]
+	mask := payload[2+baseBytes : 2+baseBytes+maskLen]
+	pos := 2 + baseBytes + maskLen
 	for i := 0; i < n; i++ {
-		e := bdiElement(block, g.baseBytes, i)
+		e := bdiElem(lanes, ws, g.baseBytes, i)
 		se := signExtendWidth(e, g.baseBytes)
 		var d int64
-		switch {
-		case fitsSigned(se, dbits):
+		if fitsSigned(se, dbits) {
 			d = se // zero base
-		case haveBase && fitsSigned(wrapDiff(e, base, g.baseBytes), dbits):
-			d = wrapDiff(e, base, g.baseBytes)
+		} else {
+			d = wrapDiff(e, f.base, g.baseBytes)
 			mask[i/8] |= 1 << uint(i%8) // explicit base
-		default:
-			return Compressed{}, false
 		}
 		u := uint64(d)
 		for b := 0; b < g.deltaByts; b++ {
-			deltas = append(deltas, byte(u>>uint(8*b)))
+			payload[pos+b] = byte(u >> uint(8*b))
 		}
+		pos += g.deltaByts
 	}
-	baseBytes := 0
-	if haveBase {
-		baseBytes = g.baseBytes
+	return Compressed{Alg: name, SizeBits: f.sizeBits, Payload: payload}
+}
+
+// Compress implements Algorithm via the word-parallel kernel: the six
+// geometries are probed allocation-free over the register-resident
+// block and only the winner is laid out (the old path laid out every
+// feasible geometry and then kept one).
+func (a *BDI) Compress(block []byte) Compressed {
+	checkBlock(block)
+	lanes := words64(block)
+	all := uint64(0)
+	rep := true
+	for _, l := range lanes {
+		all |= l
+		rep = rep && l == lanes[0]
 	}
-	sizeBits := bdiEncodingBits + n + 8*baseBytes + 8*len(deltas)
-	payload := make([]byte, 0, 2+len(mask)+baseBytes+len(deltas))
-	payload = append(payload, g.id)
-	if haveBase {
-		payload = append(payload, 1)
-		var bb [8]byte
-		binary.LittleEndian.PutUint64(bb[:], base)
-		payload = append(payload, bb[:g.baseBytes]...)
-	} else {
-		payload = append(payload, 0)
+	if all == 0 {
+		// Zero block: 1-byte representation (encoding tag + nothing).
+		return Compressed{Alg: a.Name(), SizeBits: bdiEncodingBits + 4, Payload: []byte{0}}
 	}
-	payload = append(payload, mask...)
-	payload = append(payload, deltas...)
-	return Compressed{Alg: alg, SizeBits: sizeBits, Payload: payload}, true
+	if rep {
+		return bdiRepEncoding(a.Name(), lanes[0])
+	}
+	var ws [16]uint32
+	for i, l := range lanes {
+		ws[2*i] = uint32(l)
+		ws[2*i+1] = uint32(l >> 32)
+	}
+	facts := bdiProbe(&lanes, &ws)
+	best := bdiBestGeometry(&facts)
+	if best < 0 {
+		return stored(a.Name(), block)
+	}
+	return bdiLayout(a.Name(), &lanes, &ws, best, &facts[best])
+}
+
+// ProbeSizeBits implements ProbeCompressor.
+func (a *BDI) ProbeSizeBits(p *BlockProbe) (int, bool) {
+	if p.zeroBlock {
+		return bdiEncodingBits + 4, true
+	}
+	if p.repBlock {
+		return bdiEncodingBits + 64, true
+	}
+	best := bdiBestGeometry(&p.bdi)
+	if best < 0 {
+		return 0, false
+	}
+	return p.bdi[best].sizeBits, true
+}
+
+// CompressFromProbe implements ProbeCompressor.
+func (a *BDI) CompressFromProbe(block []byte, p *BlockProbe) Compressed {
+	if p.zeroBlock {
+		return Compressed{Alg: a.Name(), SizeBits: bdiEncodingBits + 4, Payload: []byte{0}}
+	}
+	if p.repBlock {
+		return bdiRepEncoding(a.Name(), p.repValue)
+	}
+	best := bdiBestGeometry(&p.bdi)
+	if best < 0 {
+		return stored(a.Name(), block)
+	}
+	return bdiLayout(a.Name(), &p.Lanes, &p.Words, best, &p.bdi[best])
 }
 
 // signExtendWidth sign-extends a width-byte little-endian element value.

@@ -55,6 +55,54 @@ func (w *bitWriter) bits() int { return w.nbit }
 // bytes returns the backing buffer (last byte possibly partial).
 func (w *bitWriter) bytes() []byte { return w.buf }
 
+// bitAcc is the word-parallel kernels' bit emitter: fields accumulate in
+// a 64-bit register and spill whole bytes into a fixed worst-case buffer
+// — no appends, no per-byte bounds growth, nothing on the heap. The
+// byte layout is identical to bitWriter's (MSB-first, zero-padded final
+// partial byte); bitAcc only batches the shifts. Callers must keep
+// individual fields ≤ 56 bits so the accumulator (at most 7 carried
+// bits) never overflows; every codec emits ≤ 35-bit fields.
+type bitAcc struct {
+	acc   uint64
+	nacc  int // meaningful low bits of acc (< 8 after each emit)
+	total int // total bits emitted
+	n     int // whole bytes spilled into buf
+	buf   [BlockSize + 8]byte
+}
+
+// emit appends the low nb bits of v, MSB first.
+func (a *bitAcc) emit(v uint64, nb int) {
+	if nb < 64 {
+		v &= 1<<uint(nb) - 1
+	}
+	a.acc = a.acc<<uint(nb) | v
+	a.nacc += nb
+	a.total += nb
+	for a.nacc >= 8 {
+		a.nacc -= 8
+		a.buf[a.n] = byte(a.acc >> uint(a.nacc))
+		a.n++
+	}
+}
+
+// bits returns the number of bits emitted so far.
+func (a *bitAcc) bits() int { return a.total }
+
+// bytes flushes the partial byte and returns the payload, sized exactly
+// like bitWriter.bytes() for the same field sequence.
+func (a *bitAcc) bytes() []byte {
+	n := a.n
+	if a.nacc > 0 {
+		n++
+	}
+	out := make([]byte, n)
+	copy(out, a.buf[:a.n])
+	if a.nacc > 0 {
+		out[a.n] = byte(a.acc&(1<<uint(a.nacc)-1)) << uint(8-a.nacc)
+	}
+	return out
+}
+
 // bitReader reads MSB-first bit fields written by bitWriter.
 type bitReader struct {
 	buf []byte

@@ -97,111 +97,25 @@ func minDeltaWidth(x int64, max int) int {
 	return 0
 }
 
-// compressHalfDelta runs the 4-byte-granularity unit (base = first
-// element or zero) with its width capped at max ∈ {1,2} — wider
-// half-flit deltas can never beat the caller's current best — and
-// returns the encoded payload, or nil when no capped width fits. One
-// pass finds the required width, a second lays the unit out.
-func compressHalfDelta(block []byte, max int) ([]byte, int) {
-	var elems [halfDeltaElems]uint32
-	for i := range elems {
-		elems[i] = binary.LittleEndian.Uint32(block[i*4:])
-	}
-	var wZero [halfDeltaElems - 1]int
-	req := 1
-	for i := 0; i < halfDeltaElems-1; i++ {
-		dZero := int64(int32(elems[i+1]))
-		wz := minDeltaWidth(dZero, max)
-		wZero[i] = wz
-		w := wz
-		if w != 1 {
-			dBase := int64(int32(elems[i+1] - elems[0]))
-			if wb := minDeltaWidth(dBase, max); wb != 0 && (w == 0 || wb < w) {
-				w = wb
-			}
-		}
-		if w == 0 {
-			return nil, 0
-		}
-		if w > req {
-			req = w
-		}
-	}
-	// Layout: marker 0xF0|width, 2-byte base-select bitmap, 4-byte base,
-	// then the deltas (little-endian, req bytes each).
-	out := make([]byte, 7+(halfDeltaElems-1)*req)
-	out[3], out[4], out[5], out[6] = block[0], block[1], block[2], block[3]
-	var zeroSel uint16
-	pos := 7
-	for i := 0; i < halfDeltaElems-1; i++ {
-		var v uint32
-		if wZero[i] != 0 && wZero[i] <= req {
-			// Prefer the zero base on ties (see deltaReqWidth's caller).
-			zeroSel |= 1 << uint(i)
-			v = elems[i+1]
-		} else {
-			v = elems[i+1] - elems[0]
-		}
-		for b := 0; b < req; b++ {
-			out[pos+b] = byte(v >> uint(8*b))
-		}
-		pos += req
-	}
-	out[0], out[1], out[2] = byte(0xF0|req), byte(zeroSel), byte(zeroSel>>8)
-	return out, req
-}
-
-// Compress implements Algorithm. The "multiple compressor units" of
-// Fig. 4 are tried in parallel — 8-byte flit granularity with Δ ∈
-// {1,2,4} and 4-byte half-flit granularity with Δ ∈ {1,2} — and the
-// selection logic keeps the smallest encoding. Feasibility is monotone
-// in the delta width, so one pass per granularity finds the width the
-// unit bank would select and only the winning plan is laid out.
-func (a *Delta) Compress(block []byte) Compressed {
-	checkBlock(block)
-	flits := words64(block)
-	var wZero [deltaFlits]int
-	req8 := 1
-	for i := 0; i < deltaFlits; i++ {
-		wz := minDeltaWidth(int64(flits[i+1]), 4)
-		wZero[i] = wz
-		w := wz
-		if w != 1 {
-			// Only the other base can improve on (or rescue) this flit.
-			if wb := minDeltaWidth(int64(flits[i+1]-flits[0]), 4); wb != 0 && (w == 0 || wb < w) {
-				w = wb
-			}
-		}
-		if w == 0 {
-			req8 = 0
-			break
-		}
-		if w > req8 {
-			req8 = w
-		}
-	}
-	// The half-flit unit wins ties to the 8B unit only by being strictly
-	// smaller, so cap its width at the widest that could still win —
-	// req8 == 1 (129 bits) beats even Δ1 half-flit (169 bits), skipping
-	// the whole pass.
-	capHalf := 0
+// deltaHalfCap returns the widest half-flit delta width that could
+// still beat the 8-byte unit's result (0 = don't try): the half-flit
+// unit wins ties only by being strictly smaller, and req8 == 1
+// (129 bits) beats even Δ1 half-flit (169 bits).
+func deltaHalfCap(req8 int) int {
 	switch {
 	case req8 == 0 || req8 == 4:
-		capHalf = 2
+		return 2
 	case req8 == 2:
-		capHalf = 1
+		return 1
 	}
-	if capHalf != 0 {
-		if payload, reqHalf := compressHalfDelta(block, capHalf); payload != nil {
-			return Compressed{Alg: a.Name(), SizeBits: halfDeltaSizeBits(reqHalf), Payload: payload}
-		}
-	}
-	if req8 == 0 {
-		return stored(a.Name(), block)
-	}
-	// Layout: width, base-select bitmap, base flit, then the deltas
-	// (little-endian, req8 bytes each). The zero base is preferred on
-	// ties so an all-zero block encodes with an all-zero delta vector.
+	return 0
+}
+
+// layoutDelta8 lays out the 8-byte-flit encoding at width req8:
+// width, base-select bitmap, base flit, then the deltas (little-endian,
+// req8 bytes each). The zero base is preferred on ties so an all-zero
+// block encodes with an all-zero delta vector.
+func layoutDelta8(flits *[BlockSize / FlitBytes]uint64, wZero *[deltaFlits]uint8, req8 int) []byte {
 	out := make([]byte, 2+FlitBytes+deltaFlits*req8)
 	binary.LittleEndian.PutUint64(out[2:], flits[0])
 	var zeroSel uint8
@@ -220,7 +134,7 @@ func (a *Delta) Compress(block []byte) Compressed {
 		pos := 2 + FlitBytes
 		for i := 0; i < deltaFlits; i++ {
 			var v uint64
-			if wZero[i] != 0 && wZero[i] <= req8 {
+			if wZero[i] != 0 && int(wZero[i]) <= req8 {
 				zeroSel |= 1 << uint(i)
 				v = flits[i+1]
 			} else {
@@ -233,7 +147,63 @@ func (a *Delta) Compress(block []byte) Compressed {
 		}
 	}
 	out[0], out[1] = byte(req8), zeroSel
-	return Compressed{Alg: a.Name(), SizeBits: deltaSizeBits(req8), Payload: out}
+	return out
+}
+
+// Compress implements Algorithm. The "multiple compressor units" of
+// Fig. 4 are tried in parallel — 8-byte flit granularity with Δ ∈
+// {1,2,4} and 4-byte half-flit granularity with Δ ∈ {1,2} — and the
+// selection logic keeps the smallest encoding. The width scans are the
+// kernel's (deltaWidths8/halfDeltaScan, see kernel.go): feasibility is
+// monotone in the delta width, so one pass per granularity finds the
+// width the unit bank would select and only the winning plan is laid
+// out.
+func (a *Delta) Compress(block []byte) Compressed {
+	checkBlock(block)
+	flits := words64(block)
+	req8, wZero := deltaWidths8(&flits)
+	if capHalf := deltaHalfCap(req8); capHalf != 0 {
+		var ws [16]uint32
+		for i, l := range flits {
+			ws[2*i] = uint32(l)
+			ws[2*i+1] = uint32(l >> 32)
+		}
+		hz, hb := halfDeltaScan(&ws)
+		if reqHalf, ok := halfDeltaReq(&hz, &hb, capHalf); ok {
+			return Compressed{Alg: a.Name(), SizeBits: halfDeltaSizeBits(reqHalf), Payload: layoutHalfDelta(&ws, &hz, reqHalf)}
+		}
+	}
+	if req8 == 0 {
+		return stored(a.Name(), block)
+	}
+	return Compressed{Alg: a.Name(), SizeBits: deltaSizeBits(req8), Payload: layoutDelta8(&flits, &wZero, req8)}
+}
+
+// ProbeSizeBits implements ProbeCompressor: the unit bank's selection
+// replayed over the probe's precomputed widths.
+func (a *Delta) ProbeSizeBits(p *BlockProbe) (int, bool) {
+	if capHalf := deltaHalfCap(p.delta8Req); capHalf != 0 {
+		if reqHalf, ok := halfDeltaReq(&p.halfWZero, &p.halfWBase, capHalf); ok {
+			return halfDeltaSizeBits(reqHalf), true
+		}
+	}
+	if p.delta8Req == 0 {
+		return 0, false
+	}
+	return deltaSizeBits(p.delta8Req), true
+}
+
+// CompressFromProbe implements ProbeCompressor.
+func (a *Delta) CompressFromProbe(block []byte, p *BlockProbe) Compressed {
+	if capHalf := deltaHalfCap(p.delta8Req); capHalf != 0 {
+		if reqHalf, ok := halfDeltaReq(&p.halfWZero, &p.halfWBase, capHalf); ok {
+			return Compressed{Alg: a.Name(), SizeBits: halfDeltaSizeBits(reqHalf), Payload: layoutHalfDelta(&p.Words, &p.halfWZero, reqHalf)}
+		}
+	}
+	if p.delta8Req == 0 {
+		return stored(a.Name(), block)
+	}
+	return Compressed{Alg: a.Name(), SizeBits: deltaSizeBits(p.delta8Req), Payload: layoutDelta8(&p.Lanes, &p.delta8WZero, p.delta8Req)}
 }
 
 // Decompress implements Algorithm.
@@ -332,6 +302,17 @@ type IncrementalDelta struct {
 
 // NewIncrementalDelta returns an engine ready for the first fragment.
 func NewIncrementalDelta() *IncrementalDelta { return &IncrementalDelta{} }
+
+// Reset returns the engine to its initial state, retaining the fragment
+// bookkeeping's backing array — a recycled engine job absorbs its first
+// fragments without reallocating.
+func (s *IncrementalDelta) Reset() {
+	s.base = 0
+	s.haveBase = false
+	s.absorbed = 0
+	s.fragBits = s.fragBits[:0]
+	s.failed = false
+}
 
 // Absorb feeds the next fragment of 8-byte flit payloads, in packet order.
 // It returns false (and latches failure) if any flit fits neither base at

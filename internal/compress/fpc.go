@@ -42,68 +42,122 @@ const (
 	fpcUncompact = 7
 )
 
-// Compress implements Algorithm.
-func (a *FPC) Compress(block []byte) Compressed {
-	checkBlock(block)
-	ws := words32(block)
-	// Worst case is 3+32 bits per word (70 bytes); one up-front
-	// allocation covers it, so writeBits never regrows.
-	w := bitWriter{buf: make([]byte, 0, BlockSize+8)}
+// fpcZeroRunAt returns the zero-word run length starting at word i
+// (capped at 8, the prefix's run-length field): the mask's trailing-one
+// count from bit i, which self-truncates at word 16 because the shifted-
+// in high bits are zero.
+func fpcZeroRunAt(zero uint16, i int) int {
+	run := trailingOnes16(zero >> uint(i))
+	if run > 8 {
+		run = 8
+	}
+	return run
+}
+
+// trailingOnes16 counts consecutive set low bits.
+func trailingOnes16(m uint16) int {
+	n := 0
+	for m&1 != 0 {
+		n++
+		m >>= 1
+	}
+	return n
+}
+
+// fpcEncode is the kernel emission path shared by Compress and
+// CompressFromProbe: pattern selection reads the precomputed masks, and
+// each word's prefix and residual are fused into a single MSB-first
+// field (bit-identical to the old prefix-then-residual writes, since
+// MSB-first concatenation is associative).
+func fpcEncode(name string, block []byte, ws *[16]uint32, m *wordMasks) Compressed {
+	var a bitAcc
 	for i := 0; i < len(ws); {
-		if ws[i] == 0 {
-			run := 1
-			for i+run < len(ws) && ws[i+run] == 0 && run < 8 {
-				run++
-			}
-			w.writeBits(fpcZeroRun, 3)
-			w.writeBits(uint64(run-1), 3)
+		bit := uint16(1) << uint(i)
+		if m.zero&bit != 0 {
+			run := fpcZeroRunAt(m.zero, i)
+			a.emit(fpcZeroRun<<3|uint64(run-1), 6)
 			i += run
 			continue
 		}
-		word := ws[i]
-		se := int64(int32(word))
+		word := uint64(ws[i])
 		switch {
-		case fitsSigned(se, 4):
-			w.writeBits(fpcSE4, 3)
-			w.writeBits(uint64(word)&0xF, 4)
-		case fitsSigned(se, 8):
-			w.writeBits(fpcSE8, 3)
-			w.writeBits(uint64(word)&0xFF, 8)
-		case fitsSigned(se, 16):
-			w.writeBits(fpcSE16, 3)
-			w.writeBits(uint64(word)&0xFFFF, 16)
-		case word&0xFFFF == 0:
-			w.writeBits(fpcPadded16, 3)
-			w.writeBits(uint64(word>>16), 16)
-		case halfIsSE8(uint16(word>>16)) && halfIsSE8(uint16(word)):
-			w.writeBits(fpcTwoHalf, 3)
-			w.writeBits(uint64(word>>16)&0xFF, 8)
-			w.writeBits(uint64(word)&0xFF, 8)
-		case isRepByte(word):
-			w.writeBits(fpcRepByte, 3)
-			w.writeBits(uint64(word)&0xFF, 8)
+		case m.se4&bit != 0:
+			a.emit(fpcSE4<<4|word&0xF, 7)
+		case m.se8&bit != 0:
+			a.emit(fpcSE8<<8|word&0xFF, 11)
+		case m.se16&bit != 0:
+			a.emit(fpcSE16<<16|word&0xFFFF, 19)
+		case m.pad16&bit != 0:
+			a.emit(fpcPadded16<<16|word>>16, 19)
+		case m.twoHalf&bit != 0:
+			a.emit(fpcTwoHalf<<16|(word>>16&0xFF)<<8|word&0xFF, 19)
+		case m.repByte&bit != 0:
+			a.emit(fpcRepByte<<8|word&0xFF, 11)
 		default:
-			w.writeBits(fpcUncompact, 3)
-			w.writeBits(uint64(word), 32)
+			a.emit(fpcUncompact<<32|word, 35)
 		}
 		i++
 	}
-	if w.bits() >= 8*BlockSize {
-		return stored(a.Name(), block)
+	if a.bits() >= 8*BlockSize {
+		return stored(name, block)
 	}
-	return Compressed{Alg: a.Name(), SizeBits: w.bits(), Payload: w.bytes()}
+	return Compressed{Alg: name, SizeBits: a.bits(), Payload: a.bytes()}
 }
 
-// halfIsSE8 reports whether a 16-bit halfword is an 8-bit sign-extended
-// value (its upper byte is all zeros or all ones matching bit 7).
-func halfIsSE8(h uint16) bool {
-	return fitsSigned(int64(int16(h)), 8)
+// Compress implements Algorithm via the word-parallel kernel: one
+// classification pass builds the pattern masks, one emission pass packs
+// the block.
+func (a *FPC) Compress(block []byte) Compressed {
+	checkBlock(block)
+	ws := words32(block)
+	m := classifyWords32(&ws)
+	return fpcEncode(a.Name(), block, &ws, &m)
 }
 
-// isRepByte reports whether all four bytes of the word are equal.
-func isRepByte(w uint32) bool {
-	b := w & 0xFF
-	return w == b|b<<8|b<<16|b<<24
+// fpcProbeSize replays the pattern selection over the masks without
+// emitting a bit.
+func fpcProbeSize(m *wordMasks) int {
+	total := 0
+	for i := 0; i < 16; {
+		bit := uint16(1) << uint(i)
+		if m.zero&bit != 0 {
+			total += 6
+			i += fpcZeroRunAt(m.zero, i)
+			continue
+		}
+		switch {
+		case m.se4&bit != 0:
+			total += 7
+		case m.se8&bit != 0:
+			total += 11
+		case m.se16&bit != 0:
+			total += 19
+		case m.pad16&bit != 0:
+			total += 19
+		case m.twoHalf&bit != 0:
+			total += 19
+		case m.repByte&bit != 0:
+			total += 11
+		default:
+			total += 35
+		}
+		i++
+	}
+	return total
+}
+
+// ProbeSizeBits implements ProbeCompressor.
+func (a *FPC) ProbeSizeBits(p *BlockProbe) (int, bool) {
+	total := fpcProbeSize(&p.masks)
+	if total >= 8*BlockSize {
+		return 0, false
+	}
+	return total, true
+}
+
+// CompressFromProbe implements ProbeCompressor.
+func (a *FPC) CompressFromProbe(block []byte, p *BlockProbe) Compressed {
+	return fpcEncode(a.Name(), block, &p.Words, &p.masks)
 }
 
 // Decompress implements Algorithm.
@@ -215,32 +269,64 @@ const (
 	sfpcUncomp = 3
 )
 
-// Compress implements Algorithm.
+// sfpcEncode is the kernel emission path shared by Compress and
+// CompressFromProbe (prefix and residual fused per word, as in FPC).
+func sfpcEncode(name string, block []byte, ws *[16]uint32, m *wordMasks) Compressed {
+	var a bitAcc
+	for i := 0; i < len(ws); i++ {
+		bit := uint16(1) << uint(i)
+		word := uint64(ws[i])
+		switch {
+		case m.zero&bit != 0:
+			a.emit(sfpcZero, 2)
+		case m.se8&bit != 0:
+			a.emit(sfpcSE8<<8|word&0xFF, 10)
+		case m.se16&bit != 0:
+			a.emit(sfpcSE16<<16|word&0xFFFF, 18)
+		default:
+			a.emit(sfpcUncomp<<32|word, 34)
+		}
+	}
+	if a.bits() >= 8*BlockSize {
+		return stored(name, block)
+	}
+	return Compressed{Alg: name, SizeBits: a.bits(), Payload: a.bytes()}
+}
+
+// Compress implements Algorithm via the word-parallel kernel.
 func (a *SFPC) Compress(block []byte) Compressed {
 	checkBlock(block)
 	ws := words32(block)
-	// Worst case is 2+32 bits per word (68 bytes); allocate once.
-	w := bitWriter{buf: make([]byte, 0, BlockSize+8)}
-	for _, word := range ws {
-		se := int64(int32(word))
+	m := classifyWords32(&ws)
+	return sfpcEncode(a.Name(), block, &ws, &m)
+}
+
+// ProbeSizeBits implements ProbeCompressor.
+func (a *SFPC) ProbeSizeBits(p *BlockProbe) (int, bool) {
+	m := &p.masks
+	total := 0
+	for i := 0; i < 16; i++ {
+		bit := uint16(1) << uint(i)
 		switch {
-		case word == 0:
-			w.writeBits(sfpcZero, 2)
-		case fitsSigned(se, 8):
-			w.writeBits(sfpcSE8, 2)
-			w.writeBits(uint64(word)&0xFF, 8)
-		case fitsSigned(se, 16):
-			w.writeBits(sfpcSE16, 2)
-			w.writeBits(uint64(word)&0xFFFF, 16)
+		case m.zero&bit != 0:
+			total += 2
+		case m.se8&bit != 0:
+			total += 10
+		case m.se16&bit != 0:
+			total += 18
 		default:
-			w.writeBits(sfpcUncomp, 2)
-			w.writeBits(uint64(word), 32)
+			total += 34
 		}
 	}
-	if w.bits() >= 8*BlockSize {
-		return stored(a.Name(), block)
+	if total >= 8*BlockSize {
+		return 0, false
 	}
-	return Compressed{Alg: a.Name(), SizeBits: w.bits(), Payload: w.bytes()}
+	return total, true
+}
+
+// CompressFromProbe implements ProbeCompressor.
+func (a *SFPC) CompressFromProbe(block []byte, p *BlockProbe) Compressed {
+	return sfpcEncode(a.Name(), block, &p.Words, &p.masks)
 }
 
 // Decompress implements Algorithm.

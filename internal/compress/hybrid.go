@@ -63,24 +63,49 @@ func (h *Hybrid) DecompLatency() int {
 // hybridTagBits is the per-block unit-select tag.
 const hybridTagBits = 3
 
-// Compress implements Algorithm.
+// Compress implements Algorithm: the fused compress-probe. One shared
+// scan (Probe) feeds every probe-aware unit, which answers "cannot win"
+// or its exact compressed size without encoding anything; only units
+// without a probe path run their full encoder. The winner — selected by
+// the same strictly-smallest-size, earliest-unit-wins-ties rule as the
+// old run-everything loop, which FuzzKernelEquivalence pins — is then
+// encoded once from the precomputed facts. N full encodes become one
+// scan plus (usually) one encode.
 func (h *Hybrid) Compress(block []byte) Compressed {
 	checkBlock(block)
+	var p BlockProbe
+	ProbeInto(&p, block)
 	best := -1
+	bestBits := 0
+	bestFull := -1 // index of the winning fallback unit, if any
 	var bestC Compressed
 	for i, u := range h.units {
+		if pc, ok := u.(ProbeCompressor); ok {
+			bits, feasible := pc.ProbeSizeBits(&p)
+			if feasible && (best < 0 || bits < bestBits) {
+				best, bestBits, bestFull = i, bits, -1
+			}
+			continue
+		}
 		c := u.Compress(block)
 		if c.Stored {
 			continue
 		}
-		if best < 0 || c.SizeBits < bestC.SizeBits {
-			best, bestC = i, c
+		if best < 0 || c.SizeBits < bestBits {
+			best, bestBits, bestFull, bestC = i, c.SizeBits, i, c
 		}
 	}
-	if best < 0 || bestC.SizeBits+hybridTagBits >= 8*BlockSize {
+	if best < 0 || bestBits+hybridTagBits >= 8*BlockSize {
 		return stored(h.name, block)
 	}
-	payload := append([]byte{byte(best)}, bestC.Payload...)
+	if bestFull < 0 {
+		bestC = h.units[best].(ProbeCompressor).CompressFromProbe(block, &p)
+	}
+	// Tag + payload in one allocation (the old append([]byte{tag}, ...)
+	// allocated the 1-byte literal and then again for the copy).
+	payload := make([]byte, 1+len(bestC.Payload))
+	payload[0] = byte(best)
+	copy(payload[1:], bestC.Payload)
 	return Compressed{
 		Alg:      h.name,
 		SizeBits: bestC.SizeBits + hybridTagBits,

@@ -1,0 +1,106 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// equalCompressed reports whether two results are bit-identical
+// (including the stored flag and exact payload bytes).
+func equalCompressed(a, b Compressed) bool {
+	return a.Stored == b.Stored && a.SizeBits == b.SizeBits && bytes.Equal(a.Payload, b.Payload)
+}
+
+// kernelRefPair is one codec plus a closure running its retained scalar
+// reference encoder.
+type kernelRefPair struct {
+	alg Algorithm
+	ref func([]byte) Compressed
+}
+
+// kernelRefPairs returns every codec with a retained scalar reference
+// encoder. SC2 is trained on the block zoo; the reference shares the
+// trained table. Build once per test — training is not cheap.
+func kernelRefPairs(t testing.TB) []kernelRefPair {
+	s := NewSC2()
+	s.Train(testBlocks(t))
+	idx := refSC2Index(s)
+	h := NewHybrid(NewDelta(), NewBDI(), NewFPC(), NewSFPC(), NewCPack(), s)
+	return []kernelRefPair{
+		{NewDelta(), func(b []byte) Compressed { return refCompressDelta("delta", b) }},
+		{NewBDI(), func(b []byte) Compressed { return refCompressBDI("bdi", b) }},
+		{NewFPC(), func(b []byte) Compressed { return refCompressFPC("fpc", b) }},
+		{NewSFPC(), func(b []byte) Compressed { return refCompressSFPC("sfpc", b) }},
+		{s, func(b []byte) Compressed { return refCompressSC2(s, idx, b) }},
+		{h, func(b []byte) Compressed { return refCompressHybrid(h, b) }},
+	}
+}
+
+// checkKernelBlock asserts, for one block, that every kernel codec is
+// bit-identical to its scalar reference and that every ProbeCompressor
+// honours the probe contract: ProbeSizeBits answers (SizeBits, true)
+// exactly when Compress returns non-stored, and CompressFromProbe
+// reproduces Compress bit for bit.
+func checkKernelBlock(t testing.TB, pairs []kernelRefPair, block []byte) {
+	p := Probe(block)
+	for _, pair := range pairs {
+		got := pair.alg.Compress(block)
+		want := pair.ref(block)
+		if !equalCompressed(got, want) {
+			t.Fatalf("%s: kernel/reference mismatch\nblock  %x\nkernel stored=%v size=%d payload=%x\nref    stored=%v size=%d payload=%x",
+				pair.alg.Name(), block,
+				got.Stored, got.SizeBits, got.Payload,
+				want.Stored, want.SizeBits, want.Payload)
+		}
+		pc, ok := pair.alg.(ProbeCompressor)
+		if !ok {
+			continue
+		}
+		bits, feasible := pc.ProbeSizeBits(&p)
+		if feasible == got.Stored {
+			t.Fatalf("%s: probe feasible=%v but Compress stored=%v (block %x)",
+				pair.alg.Name(), feasible, got.Stored, block)
+		}
+		if feasible {
+			if bits != got.SizeBits {
+				t.Fatalf("%s: probe size %d, Compress size %d (block %x)",
+					pair.alg.Name(), bits, got.SizeBits, block)
+			}
+			fp := pc.CompressFromProbe(block, &p)
+			if !equalCompressed(fp, got) {
+				t.Fatalf("%s: CompressFromProbe differs from Compress (block %x)",
+					pair.alg.Name(), block)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceZoo runs the kernel-vs-reference check over the
+// deterministic block zoo (the same corpus the round-trip suite uses).
+func TestKernelEquivalenceZoo(t *testing.T) {
+	pairs := kernelRefPairs(t)
+	for i, blk := range testBlocks(t) {
+		t.Run(fmt.Sprintf("block%02d", i), func(t *testing.T) {
+			checkKernelBlock(t, pairs, blk)
+		})
+	}
+}
+
+// FuzzKernelEquivalence is the differential fuzz target behind
+// `make fuzz-smoke`: for arbitrary block content, every word-parallel
+// kernel codec must produce bit-identical Compressed output to its
+// retained scalar reference encoder, and every ProbeCompressor must
+// satisfy the shared-scan probe contract.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(make([]byte, BlockSize))
+	for _, blk := range testBlocks(f)[:8] {
+		f.Add(append([]byte(nil), blk...))
+	}
+	pairs := kernelRefPairs(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		block := make([]byte, BlockSize)
+		copy(block, data)
+		checkKernelBlock(t, pairs, block)
+	})
+}

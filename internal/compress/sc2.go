@@ -20,12 +20,19 @@ import (
 // raw; call Train (or Observe + Retrain) before measuring ratios,
 // mirroring the sampling phase of the real design.
 type SC2 struct {
-	values   []uint32          // frequent-value table (escape excluded)
-	valueIdx map[uint32]int    // value -> symbol index
-	codes    []huffCode        // per symbol; escape is the last entry
-	freq     map[uint32]uint64 // accumulated sample statistics
-	decoder  huffDecoder
-	trained  bool
+	values []uint32          // frequent-value table (escape excluded)
+	codes  []huffCode        // per symbol; escape is the last entry
+	freq   map[uint32]uint64 // accumulated sample statistics
+	// Open-addressing value -> packed-codeword table (kernel hot path):
+	// power-of-two slot count at ≤0.5 load, multiplicative hash to the
+	// top bits, linear probing. lookupCodes[i] packs the canonical
+	// codeword as bits<<5|len (len ≥ 1, so 0 marks an empty slot);
+	// lookupKeys[i] is only meaningful when its code slot is occupied.
+	lookupKeys  []uint32
+	lookupCodes []uint32
+	lookupShift uint32
+	decoder     huffDecoder
+	trained     bool
 	// DeepDecomp selects the 14-cycle worst-case decompression latency of
 	// Table 1 instead of the common-case 8 cycles.
 	DeepDecomp bool
@@ -51,7 +58,7 @@ const sc2HeaderBits = 8
 
 // NewSC2 returns an untrained SC² compressor.
 func NewSC2() *SC2 {
-	return &SC2{freq: make(map[uint32]uint64), valueIdx: make(map[uint32]int)}
+	return &SC2{freq: make(map[uint32]uint64)}
 }
 
 // Name implements Algorithm.
@@ -99,20 +106,49 @@ func (s *SC2) Retrain() {
 		all = all[:sc2TableSize-1]
 	}
 	s.values = s.values[:0]
-	s.valueIdx = make(map[uint32]int, len(all))
 	freqs := make([]uint64, len(all)+1)
 	var covered uint64
-	for i, e := range all {
+	for _, e := range all {
 		s.values = append(s.values, e.v)
-		s.valueIdx[e.v] = i
-		freqs[i] = e.f + 1
+		freqs[len(s.values)-1] = e.f + 1
 		covered += e.f
 	}
 	freqs[len(all)] = total - covered + 1 // escape
 	lens := huffLengths(freqs, sc2MaxCodeLen)
 	s.codes = canonicalAssign(lens)
 	s.decoder.build(s.codes)
+	s.buildLookup()
 	s.trained = true
+}
+
+// sc2HashMul is the multiplicative-hash constant (2^32/φ, Knuth).
+const sc2HashMul = 0x9E3779B1
+
+// buildLookup (re)builds the open-addressing encode table from the
+// trained value set and codeword assignment.
+func (s *SC2) buildLookup() {
+	size := 16
+	for size < 2*len(s.values) {
+		size <<= 1
+	}
+	log2 := 0
+	for 1<<uint(log2) < size {
+		log2++
+	}
+	s.lookupKeys = make([]uint32, size)
+	s.lookupCodes = make([]uint32, size)
+	s.lookupShift = uint32(32 - log2)
+	mask := uint32(size - 1)
+	for i, v := range s.values {
+		c := s.codes[i]
+		packed := uint32(c.bits)<<5 | uint32(c.len)
+		slot := (v * sc2HashMul) >> s.lookupShift
+		for s.lookupCodes[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		s.lookupKeys[slot] = v
+		s.lookupCodes[slot] = packed
+	}
 }
 
 // Train is Observe over a sample set followed by Retrain.
@@ -129,28 +165,109 @@ func (s *SC2) Trained() bool { return s.trained }
 // escapeSym is the escape's symbol index.
 func (s *SC2) escapeSym() int { return len(s.values) }
 
-// Compress implements Algorithm.
+// lookup returns the packed codeword for a table value, 0 on a miss
+// (escape). One multiply-hash plus a near-always-length-1 linear probe
+// replaces the old map[uint32]int hot-path lookup.
+func (s *SC2) lookup(word uint32) uint32 {
+	keys, codes := s.lookupKeys, s.lookupCodes
+	mask := uint32(len(codes) - 1)
+	i := (word * sc2HashMul) >> s.lookupShift
+	for {
+		c := codes[i]
+		if c == 0 || keys[i] == word {
+			return c
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Compress implements Algorithm. The word-parallel kernel path: one
+// block load, one open-addressed table lookup per word, batched MSB-
+// first emission through a register accumulator. Bit format and the
+// per-word stored bail-out are unchanged from the scalar encoder (the
+// written bits grow monotonically, so checking after each word's
+// emission is exactly the old per-word check).
 func (s *SC2) Compress(block []byte) Compressed {
 	checkBlock(block)
 	if !s.trained {
 		return stored(s.Name(), block)
 	}
-	var w bitWriter
+	ws := words32(block)
 	esc := s.codes[s.escapeSym()]
-	for i := 0; i < BlockSize; i += WordSize {
-		word := binary.LittleEndian.Uint32(block[i:])
-		if idx, ok := s.valueIdx[word]; ok {
-			c := s.codes[idx]
-			w.writeBits(uint64(c.bits), c.len)
+	escBits, escLen := uint64(esc.bits), esc.len
+	var a bitAcc
+	for _, word := range ws {
+		if c := s.lookup(word); c != 0 {
+			a.emit(uint64(c>>5), int(c&31))
 		} else {
-			w.writeBits(uint64(esc.bits), esc.len)
-			w.writeBits(uint64(word), 32)
+			a.emit(escBits, escLen)
+			a.emit(uint64(word), 32)
 		}
-		if w.bits()+sc2HeaderBits >= 8*BlockSize {
+		if a.bits()+sc2HeaderBits >= 8*BlockSize {
 			return stored(s.Name(), block)
 		}
 	}
-	return Compressed{Alg: s.Name(), SizeBits: w.bits() + sc2HeaderBits, Payload: w.bytes()}
+	return Compressed{Alg: s.Name(), SizeBits: a.bits() + sc2HeaderBits, Payload: a.bytes()}
+}
+
+// fillProbe caches this instance's per-word codewords and the exact
+// compressed size in the probe (tagged by owner, so a probe shared
+// across Hybrid units never leaks another instance's codes).
+func (s *SC2) fillProbe(p *BlockProbe) {
+	total := 0
+	escLen := s.codes[s.escapeSym()].len
+	for i, word := range p.Words {
+		c := s.lookup(word)
+		p.sc2Codes[i] = c
+		if c != 0 {
+			total += int(c & 31)
+		} else {
+			total += escLen + 32
+		}
+	}
+	p.sc2Bits = total + sc2HeaderBits
+	p.sc2Stored = p.sc2Bits >= 8*BlockSize
+	p.sc2Owner = s
+}
+
+// ProbeSizeBits implements ProbeCompressor.
+func (s *SC2) ProbeSizeBits(p *BlockProbe) (int, bool) {
+	if !s.trained {
+		return 0, false
+	}
+	if p.sc2Owner != s {
+		s.fillProbe(p)
+	}
+	if p.sc2Stored {
+		return 0, false
+	}
+	return p.sc2Bits, true
+}
+
+// CompressFromProbe implements ProbeCompressor: emission straight from
+// the cached codewords, no table lookups.
+func (s *SC2) CompressFromProbe(block []byte, p *BlockProbe) Compressed {
+	if !s.trained {
+		return stored(s.Name(), block)
+	}
+	if p.sc2Owner != s {
+		s.fillProbe(p)
+	}
+	if p.sc2Stored {
+		return stored(s.Name(), block)
+	}
+	esc := s.codes[s.escapeSym()]
+	escBits, escLen := uint64(esc.bits), esc.len
+	var a bitAcc
+	for i, c := range p.sc2Codes {
+		if c != 0 {
+			a.emit(uint64(c>>5), int(c&31))
+		} else {
+			a.emit(escBits, escLen)
+			a.emit(uint64(p.Words[i]), 32)
+		}
+	}
+	return Compressed{Alg: s.Name(), SizeBits: a.bits() + sc2HeaderBits, Payload: a.bytes()}
 }
 
 // Decompress implements Algorithm.

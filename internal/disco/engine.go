@@ -95,6 +95,14 @@ type Engine struct {
 	alg compress.Algorithm
 	cur *Job
 
+	// retired is the most recently finished (or dropped) job, recycled at
+	// the next Start*: the Job struct, its IncrementalDelta and its stream
+	// buffer are reused, so a steady-state engine starts jobs without
+	// allocating. Callers may read a finished job's fields only until the
+	// next Start* on the same engine — the cycle engine consumes results
+	// within the stage that collected them, so this is never observable.
+	retired *Job
+
 	// strictIncremental selects IncrementalDelta semantics (Δ1 commitment,
 	// possible abort) for separate compression; only meaningful when the
 	// algorithm is the paper's delta scheme.
@@ -145,6 +153,32 @@ func (e *Engine) Busy() bool { return e.cur != nil }
 // Current returns the in-flight job, or nil.
 func (e *Engine) Current() *Job { return e.cur }
 
+// retire hands a job that just left the engine to the recycler.
+func (e *Engine) retire(j *Job) {
+	e.cur = nil
+	e.retired = j
+}
+
+// takeJob returns a zeroed Job, recycling the retired one (and its
+// incremental scratch) when available.
+func (e *Engine) takeJob() *Job {
+	j := e.retired
+	if j == nil {
+		return &Job{}
+	}
+	e.retired = nil
+	inc, buf := j.inc, j.streamBuf
+	*j = Job{}
+	if inc != nil {
+		inc.Reset()
+		j.inc = inc
+	}
+	if buf != nil {
+		j.streamBuf = buf[:0]
+	}
+	return j
+}
+
 // StartCompress begins compressing a packet whose payload will arrive as
 // totalFlits 8-byte flits. The engine is seeded with the flits already
 // resident (possibly all of them). Returns the job, or nil if the engine
@@ -153,14 +187,13 @@ func (e *Engine) StartCompress(pktID uint64, resident []uint64, totalFlits int, 
 	if e.cur != nil {
 		return nil
 	}
-	j := &Job{
-		Kind:       JobCompress,
-		PacketID:   pktID,
-		startCycle: now,
-		latency:    e.alg.CompLatency(),
-		total:      totalFlits,
-	}
-	if e.strictIncremental {
+	j := e.takeJob()
+	j.Kind = JobCompress
+	j.PacketID = pktID
+	j.startCycle = now
+	j.latency = e.alg.CompLatency()
+	j.total = totalFlits
+	if e.strictIncremental && j.inc == nil {
 		j.inc = compress.NewIncrementalDelta()
 	}
 	if e.faultFn != nil && e.faultFn() {
@@ -176,13 +209,12 @@ func (e *Engine) StartDecompress(pktID uint64, src compress.Compressed, now uint
 	if e.cur != nil {
 		return nil
 	}
-	j := &Job{
-		Kind:       JobDecompress,
-		PacketID:   pktID,
-		startCycle: now,
-		latency:    e.alg.DecompLatency(),
-		src:        src,
-	}
+	j := e.takeJob()
+	j.Kind = JobDecompress
+	j.PacketID = pktID
+	j.startCycle = now
+	j.latency = e.alg.DecompLatency()
+	j.src = src
 	if e.faultFn != nil && e.faultFn() {
 		j.Faulted = true
 	}
@@ -242,13 +274,13 @@ func (e *Engine) Tick(now uint64) *Job {
 		if now >= j.startCycle+uint64(e.stuckCycles) {
 			j.State = JobAborted
 			e.Faults++
-			e.cur = nil
+			e.retire(j)
 			return j
 		}
 		return nil
 	}
 	if j.State == JobAborted {
-		e.cur = nil
+		e.retire(j)
 		return j
 	}
 	latencyMet := now >= j.startCycle+uint64(j.latency)
@@ -270,7 +302,7 @@ func (e *Engine) Tick(now uint64) *Job {
 				if !j.inc.Done() {
 					j.State = JobAborted
 					e.Failures++
-					e.cur = nil
+					e.retire(j)
 					return j
 				}
 				// Round-trippable result: re-encode with the whole-block
@@ -283,7 +315,7 @@ func (e *Engine) Tick(now uint64) *Job {
 				if res.Stored {
 					j.State = JobAborted
 					e.Failures++
-					e.cur = nil
+					e.retire(j)
 					return j
 				}
 				j.result = res
@@ -292,20 +324,20 @@ func (e *Engine) Tick(now uint64) *Job {
 		}
 		j.State = JobDone
 		e.Compressions++
-		e.cur = nil
+		e.retire(j)
 		return j
 	case JobDecompress:
 		block, err := e.alg.Decompress(j.src)
 		if err != nil {
 			j.State = JobAborted
 			e.Failures++
-			e.cur = nil
+			e.retire(j)
 			return j
 		}
 		j.block = block
 		j.State = JobDone
 		e.Decompressions++
-		e.cur = nil
+		e.retire(j)
 		return j
 	}
 	return nil
@@ -364,7 +396,7 @@ func (e *Engine) Release(pktID uint64) {
 	if e.cur.Faulted {
 		return
 	}
-	e.cur = nil
+	e.retire(e.cur)
 	e.Aborts++
 }
 
@@ -372,7 +404,7 @@ func (e *Engine) Release(pktID uint64) {
 // state; used when the packet is torn down (e.g. simulation drain).
 func (e *Engine) DropIfCurrent(pktID uint64) {
 	if e.cur != nil && e.cur.PacketID == pktID {
-		e.cur = nil
+		e.retire(e.cur)
 		e.Aborts++
 	}
 }

@@ -162,6 +162,10 @@ func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, HotAlloc, "hotalloc", "fixturemod/internal/noc")
 }
 
+func TestHotAllocKernelFixture(t *testing.T) {
+	runFixture(t, HotAlloc, "hotalloc_compress", "fixturemod/internal/compress")
+}
+
 // TestLintIgnoreFixture runs the auditor together with nodeterminism so
 // used/stale verdicts are grounded in a real analyzer's findings.
 func TestLintIgnoreFixture(t *testing.T) {

@@ -56,8 +56,16 @@ func hotAllocRoots(pass *Pass, pf *pkgFacts) []*types.Func {
 	case strings.HasSuffix(pass.PkgPath, "internal/disco"):
 		return pf.rootsNamed("Engine", func(name string) bool { return name == "Tick" })
 	case strings.HasSuffix(pass.PkgPath, "internal/compress"):
+		// Probe/ProbeSizeBits/CompressFromProbe are the word-parallel
+		// kernel entry points (DESIGN.md §12): the fused probe path runs
+		// once per block, same as Compress.
 		return pf.rootsNamed("", func(name string) bool {
-			return name == "Compress" || name == "Decompress"
+			switch name {
+			case "Compress", "Decompress",
+				"Probe", "ProbeInto", "ProbeSizeBits", "CompressFromProbe":
+				return true
+			}
+			return false
 		})
 	}
 	return nil

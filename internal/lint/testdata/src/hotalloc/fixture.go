@@ -4,16 +4,24 @@
 // or sit on an allowlisted init path.
 package fixture
 
+// Packet mimics a pooled cycle-loop object.
+type Packet struct{ id int }
+
 // Network mimics the cycle-loop owner.
 type Network struct {
 	scratch []int
 	items   []int
 	lookup  map[string]int
+
+	// Fixed-capacity index-managed arena (the packet-pool idiom): push
+	// and pop move pktFree, never append, so recycling is alloc-free.
+	pktPool []*Packet
+	pktFree int
 }
 
 // NewNetwork is an init path: construction may allocate freely.
 func NewNetwork() *Network {
-	return &Network{lookup: make(map[string]int)}
+	return &Network{lookup: make(map[string]int), pktPool: make([]*Packet, 8)}
 }
 
 // Step is the hot-path root.
@@ -25,6 +33,29 @@ func (n *Network) Step() {
 	n.dispatch()
 	n.initTables() // allowed: traversal prunes at init*
 	_ = n.produce()
+	n.recycle(n.pop())
+}
+
+// pop takes a packet out of the arena by index (allowed: no allocation;
+// the empty-arena fallback escapes as the function's product).
+func (n *Network) pop() *Packet {
+	if n.pktFree == 0 {
+		return &Packet{}
+	}
+	n.pktFree--
+	p := n.pktPool[n.pktFree]
+	n.pktPool[n.pktFree] = nil
+	return p
+}
+
+// recycle returns a packet to the arena by index push (allowed: index
+// store into a fixed-capacity pool, never an append).
+func (n *Network) recycle(p *Packet) {
+	*p = Packet{}
+	if n.pktFree < len(n.pktPool) {
+		n.pktPool[n.pktFree] = p
+		n.pktFree++
+	}
 }
 
 // grow appends into a field slice that is never reset (forbidden).

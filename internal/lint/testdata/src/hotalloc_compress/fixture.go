@@ -1,0 +1,43 @@
+// Package fixture exercises the hotalloc analyzer's codec roots: the
+// word-parallel kernel entry points (Probe, ProbeSizeBits,
+// CompressFromProbe) are per-block hot paths exactly like Compress, so
+// heap allocations reachable from them are findings unless recycled,
+// escaping, or on an init path.
+package fixture
+
+// BlockProbe mimics the shared word-parallel scan result.
+type BlockProbe struct {
+	lanes [8]uint64
+	notes []int
+}
+
+// Codec mimics a probe-capable compressor.
+type Codec struct {
+	scratch []byte
+}
+
+// NewCodec is an init path: construction may allocate freely.
+func NewCodec() *Codec { return &Codec{scratch: make([]byte, 64)} }
+
+// Probe is a kernel root: the per-block shared scan must not allocate.
+func (c *Codec) Probe(p *BlockProbe, src []byte) {
+	p.lanes[0] = uint64(src[0])
+	p.notes = append(p.notes, 1) // want "heap allocation on the hot path"
+}
+
+// ProbeSizeBits is a kernel root: sizing from a probe is pure math.
+func (c *Codec) ProbeSizeBits(p *BlockProbe) (int, bool) {
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, byte(p.lanes[0])) // allowed: recycled scratch
+	return len(c.scratch) * 8, true
+}
+
+// CompressFromProbe is a kernel root; its encoding is the function's
+// product (allowed: escaping result), but per-call scratch is not.
+func (c *Codec) CompressFromProbe(p *BlockProbe) []byte {
+	tmp := make([]uint64, 8) // want "heap allocation on the hot path"
+	tmp[0] = p.lanes[0]
+	out := make([]byte, 0, 8)
+	out = append(out, byte(tmp[0])) // allowed: bound to the returned value
+	return out
+}

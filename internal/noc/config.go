@@ -147,6 +147,12 @@ func (c *Config) Validate() error {
 	if c.VCs < 1 {
 		return fmt.Errorf("noc: need at least one VC, got %d", c.VCs)
 	}
+	if int(NumPorts)*c.VCs > 64 {
+		// The router's live-occupancy bitmask assigns every VC one bit of
+		// a uint64 (see Router.live), which caps VCs at 12 per port.
+		return fmt.Errorf("noc: at most %d VCs per port (live-mask width), got %d",
+			64/int(NumPorts), c.VCs)
+	}
 	if c.BufDepth < 2 {
 		return fmt.Errorf("noc: buffer depth must be >= 2, got %d", c.BufDepth)
 	}

@@ -28,10 +28,45 @@ type arrival struct {
 // at most one flit per cycle over the NI link, round-robin across the
 // active streams.
 type niState struct {
+	// queue is an index-fronted FIFO: qhead marks the first waiting
+	// packet, and a drained queue resets to [:0] so the backing array is
+	// reused. Popping by reslicing instead would shrink append's spare
+	// capacity with every pop and force a reallocation every few pushes.
 	queue    []*Packet
+	qhead    int
 	stream   []*Packet // per local VC: packet being streamed, nil if idle
 	streamed []int     // flits already streamed into the VC
+	active   int       // non-nil entries of stream (injection fast path)
 	rr       int       // round-robin pointer over VCs
+}
+
+// qlen is the number of waiting packets.
+func (ni *niState) qlen() int { return len(ni.queue) - ni.qhead }
+
+// qpop removes and returns the oldest waiting packet.
+func (ni *niState) qpop() *Packet {
+	p := ni.queue[ni.qhead]
+	ni.queue[ni.qhead] = nil
+	ni.qhead++
+	if ni.qhead == len(ni.queue) {
+		ni.queue = ni.queue[:0]
+		ni.qhead = 0
+	}
+	return p
+}
+
+// setStream opens a stream on VC v; clearStream closes it. All stream
+// slot writes go through these so active stays exact — stepInjection
+// skips a node entirely when it has no queue and no open stream.
+func (ni *niState) setStream(v int, p *Packet) {
+	ni.stream[v] = p
+	ni.streamed[v] = 0
+	ni.active++
+}
+
+func (ni *niState) clearStream(v int) {
+	ni.stream[v] = nil
+	ni.active--
 }
 
 // Stats aggregates network-level counters.
@@ -95,6 +130,17 @@ type Network struct {
 	pending     []arrival
 	busyScratch []bool
 	stats       Stats
+
+	// Packet/block arenas: ejected pool-born packets (and their payload
+	// blocks) are recycled at the NI instead of feeding the garbage
+	// collector. Fixed-capacity, index-managed (push/pop by pktFree /
+	// blkFree, never append) so Step stays allocation-free. Recycling is
+	// disabled whenever anyone can retain a packet past ejection — an
+	// OnEject observer, a tracer, or the fault layer (see eject).
+	pktPool []*Packet
+	pktFree int
+	blkPool [][]byte
+	blkFree int
 
 	// Two-phase engine state (see parallel.go / DESIGN.md §9): pool
 	// shards compute phases across workers (nil = serial engine);
@@ -168,7 +214,56 @@ func New(cfg Config) (*Network, error) {
 	for i := range n.Routers {
 		n.Routers[i] = newRouter(i, n)
 	}
+	for _, r := range n.Routers {
+		r.wireNeighbors()
+	}
+	// Arena capacity: in-flight packets are bounded by buffer space, but
+	// NI backlogs near saturation push the live population well past it;
+	// 16 per node covers a loaded mesh, and overflow simply allocates as
+	// before (the arena is an optimization, never a limit).
+	poolCap := 16 * cfg.Nodes()
+	n.pktPool = make([]*Packet, poolCap)
+	n.blkPool = make([][]byte, poolCap)
 	return n, nil
+}
+
+// takePacket pops a recycled packet, or allocates one when the arena is
+// empty. Pool-born packets are marked pooled so eject knows it may
+// reclaim them.
+func (n *Network) takePacket() *Packet {
+	if n.pktFree == 0 {
+		return &Packet{pooled: true}
+	}
+	n.pktFree--
+	p := n.pktPool[n.pktFree]
+	n.pktPool[n.pktFree] = nil
+	return p
+}
+
+// takeBlock pops a recycled payload block, or allocates a fresh one.
+func (n *Network) takeBlock() []byte {
+	if n.blkFree == 0 {
+		return make([]byte, compress.BlockSize)
+	}
+	n.blkFree--
+	b := n.blkPool[n.blkFree]
+	n.blkPool[n.blkFree] = nil
+	return b
+}
+
+// recyclePacket returns a fully ejected pool-born packet (and its block)
+// to the arenas. Only called from eject, and only when nothing can
+// retain the packet (no observer, no tracer, no fault layer).
+func (n *Network) recyclePacket(p *Packet) {
+	if b := p.Block; len(b) == compress.BlockSize && n.blkFree < len(n.blkPool) {
+		n.blkPool[n.blkFree] = b
+		n.blkFree++
+	}
+	*p = Packet{pooled: true}
+	if n.pktFree < len(n.pktPool) {
+		n.pktPool[n.pktFree] = p
+		n.pktFree++
+	}
 }
 
 // FaultEnabled reports whether a fault injector is armed.
@@ -213,7 +308,7 @@ func (n *Network) Inject(p *Packet) {
 // InjectQueueLen returns the backlog at node's NI.
 func (n *Network) InjectQueueLen(node int) int {
 	ni := &n.ni[node]
-	l := len(ni.queue)
+	l := ni.qlen()
 	for _, p := range ni.stream {
 		if p != nil {
 			l++
@@ -247,6 +342,14 @@ func (n *Network) eject(node int, pkt *Packet) {
 	n.trace(node, EvEject, pkt)
 	if n.OnEject != nil {
 		n.OnEject(node, pkt)
+		return
+	}
+	// Reclaim pool-born packets, but only when nothing could have kept a
+	// reference: OnEject hands the packet to the protocol layer, tracers
+	// may retain staged events past this cycle, and the fault layer's
+	// shadow semantics rely on retained blocks.
+	if pkt.pooled && n.tracer == nil && n.fault == nil {
+		n.recyclePacket(pkt)
 	}
 }
 
@@ -314,13 +417,12 @@ func (n *Network) Step() {
 	pend := n.pending
 	n.pending = n.pending[:0]
 	for _, a := range pend {
-		e := a.router.in[a.port][a.vc]
+		e := &a.router.in[a.port][a.vc]
 		if a.head {
 			if e.pkt != nil {
 				panic("noc: head flit arrived at occupied VC")
 			}
-			e.pkt = a.pkt
-			e.state = vcRoute
+			e.attachPacket(a.pkt)
 		}
 		e.acceptFlit()
 	}
@@ -419,19 +521,20 @@ func (n *Network) Step() {
 // streams one flit over the NI link (round-robin across active streams).
 func (n *Network) stepInjection(node int) {
 	ni := &n.ni[node]
+	if ni.qlen() == 0 && ni.active == 0 {
+		return // nothing queued, nothing streaming
+	}
 	r := n.Routers[node]
 	// Fill free VCs from the queue so waiting packets are buffered where
 	// the router (and the DISCO arbitrator) can see them.
-	for v, e := range r.in[Local] {
-		if len(ni.queue) == 0 {
+	for v := range r.in[Local] {
+		if ni.qlen() == 0 {
 			break
 		}
+		e := &r.in[Local][v]
 		if ni.stream[v] == nil && e.pkt == nil && e.reserved == 0 {
-			ni.stream[v] = ni.queue[0]
-			ni.queue = ni.queue[1:]
-			ni.streamed[v] = 0
-			e.pkt = ni.stream[v]
-			e.state = vcRoute
+			ni.setStream(v, ni.qpop())
+			e.attachPacket(ni.stream[v])
 		}
 	}
 	// One flit of NI link bandwidth, round-robin over active streams.
@@ -442,16 +545,16 @@ func (n *Network) stepInjection(node int) {
 		if p == nil {
 			continue
 		}
-		e := r.in[Local][v]
+		e := &r.in[Local][v]
 		if e.pkt != p {
 			// The packet left the VC entirely (possible for transformed
 			// or short packets); its remaining flits were already
 			// accounted.
-			ni.stream[v] = nil
+			ni.clearStream(v)
 			continue
 		}
 		if ni.streamed[v] >= p.FlitCount {
-			ni.stream[v] = nil
+			ni.clearStream(v)
 			continue
 		}
 		if e.occupancy() >= n.cfg.BufDepth {
@@ -460,7 +563,7 @@ func (n *Network) stepInjection(node int) {
 		ni.streamed[v]++
 		e.acceptNIFlit()
 		if ni.streamed[v] >= p.FlitCount {
-			ni.stream[v] = nil
+			ni.clearStream(v)
 		}
 		ni.rr = (v + 1) % vcs
 		return
@@ -474,7 +577,7 @@ func (n *Network) Quiescent() bool {
 		return false
 	}
 	for i := range n.ni {
-		if len(n.ni[i].queue) > 0 {
+		if n.ni[i].qlen() > 0 {
 			return false
 		}
 		for _, p := range n.ni[i].stream {
@@ -484,13 +587,7 @@ func (n *Network) Quiescent() bool {
 		}
 	}
 	for _, r := range n.Routers {
-		quiet := true
-		r.eachVC(func(_ Port, _ int, e *vcBuf) {
-			if e.pkt != nil || e.reserved != 0 {
-				quiet = false
-			}
-		})
-		if !quiet {
+		if r.live != 0 {
 			return false
 		}
 	}

@@ -12,6 +12,7 @@
 package noc
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"github.com/disco-sim/disco/internal/compress"
@@ -87,6 +88,11 @@ type Packet struct {
 
 	// Meta lets the protocol layer attach a transaction reference.
 	Meta any
+
+	// pooled marks a packet born from the network's arena (takePacket):
+	// eject may reclaim it when nothing retains ejected packets. Packets
+	// built by the exported constructors are never reclaimed.
+	pooled bool
 }
 
 // flitsFor returns head + payload flits for a payload of n bytes.
@@ -101,24 +107,38 @@ func flitsFor(n int) int {
 // plus an uncompressed cache block.
 const maxPacketFlits = 1 + compress.BlockSize/compress.FlitBytes
 
+// initControlPacket fills p as a single-flit request/coherence packet:
+// an empty payload riding a lone head flit.
+func initControlPacket(p *Packet, id uint64, src, dst int, class Class) *Packet {
+	p.ID, p.Src, p.Dst, p.Class = id, src, dst, class
+	p.PayloadBytes = 0
+	p.FlitCount = flitsFor(0)
+	return p
+}
+
+// initDataPacket fills p as an uncompressed response packet carrying
+// block.
+func initDataPacket(p *Packet, id uint64, src, dst int, block []byte, wantCompressed bool) *Packet {
+	if len(block) != compress.BlockSize {
+		panic(fmt.Sprintf("noc: data packet payload must be %d bytes", compress.BlockSize))
+	}
+	p.ID, p.Src, p.Dst, p.Class = id, src, dst, ClassResponse
+	p.Compressible = true
+	p.WantCompressedAtDst = wantCompressed
+	p.Block = block
+	p.PayloadBytes = compress.BlockSize
+	p.FlitCount = flitsFor(compress.BlockSize)
+	return p
+}
+
 // NewControlPacket builds a single-flit request/coherence packet.
 func NewControlPacket(id uint64, src, dst int, class Class) *Packet {
-	return &Packet{ID: id, Src: src, Dst: dst, Class: class, FlitCount: 1}
+	return initControlPacket(&Packet{}, id, src, dst, class)
 }
 
 // NewDataPacket builds an uncompressed response packet carrying block.
 func NewDataPacket(id uint64, src, dst int, block []byte, wantCompressed bool) *Packet {
-	if len(block) != compress.BlockSize {
-		panic(fmt.Sprintf("noc: data packet payload must be %d bytes", compress.BlockSize))
-	}
-	return &Packet{
-		ID: id, Src: src, Dst: dst, Class: ClassResponse,
-		Compressible:        true,
-		WantCompressedAtDst: wantCompressed,
-		Block:               block,
-		PayloadBytes:        compress.BlockSize,
-		FlitCount:           flitsFor(compress.BlockSize),
-	}
+	return initDataPacket(&Packet{}, id, src, dst, block, wantCompressed)
 }
 
 // NewCompressedDataPacket builds a response packet already in compressed
@@ -162,15 +182,19 @@ func (p *Packet) PayloadFlits() int { return p.FlitCount - 1 }
 // its UNCOMPRESSED form — these are what a DISCO compression engine
 // absorbs. Only valid for data packets.
 func (p *Packet) payloadFlitValues(from, n int) []uint64 {
-	out := make([]uint64, 0, n)
+	return p.payloadFlitValuesInto(make([]uint64, 0, n), from, n)
+}
+
+// payloadFlitValuesInto is payloadFlitValues appending into a caller
+// scratch buffer: the cycle loop feeds the engine from a per-router
+// array, so no per-absorb slice is allocated. The engine copies what it
+// keeps (IncrementalDelta reads flit values; streaming mode appends
+// bytes), so the scratch may be reused immediately.
+func (p *Packet) payloadFlitValuesInto(buf []uint64, from, n int) []uint64 {
 	for i := from; i < from+n; i++ {
-		var v uint64
-		for b := 0; b < compress.FlitBytes; b++ {
-			v |= uint64(p.Block[i*compress.FlitBytes+b]) << uint(8*b)
-		}
-		out = append(out, v)
+		buf = append(buf, binary.LittleEndian.Uint64(p.Block[i*compress.FlitBytes:]))
 	}
-	return out
+	return buf
 }
 
 // InWantedForm reports whether the packet's current form matches what its

@@ -44,7 +44,7 @@ func checkCreditInvariants(t *testing.T, n *Network, cycle uint64) {
 func inFlightPackets(n *Network) map[*Packet]bool {
 	set := make(map[*Packet]bool)
 	for i := range n.ni {
-		for _, p := range n.ni[i].queue {
+		for _, p := range n.ni[i].queue[n.ni[i].qhead:] {
 			set[p] = true
 		}
 		for _, p := range n.ni[i].stream {

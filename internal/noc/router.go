@@ -2,6 +2,7 @@ package noc
 
 import (
 	"bytes"
+	"math/bits"
 
 	"github.com/disco-sim/disco/internal/compress"
 	"github.com/disco-sim/disco/internal/disco"
@@ -13,10 +14,29 @@ type Router struct {
 	id  int
 	net *Network
 
-	in       [NumPorts][]*vcBuf
+	// vcs is the flat per-router VC storage, port-major (index p*VCs+v);
+	// in[p] are per-port views into it. One contiguous array keeps the
+	// whole input stage in a few cache lines and gives every VC a stable
+	// bit position in the live mask.
+	vcs      []vcBuf
+	in       [NumPorts][]vcBuf
 	outOwner [NumPorts][]*Packet // downstream VC allocation table
 	vaRR     [NumPorts]int       // VA round-robin pointers (per output port)
 	saRR     [NumPorts]int       // SA round-robin pointers (per output port)
+
+	// live has bit p*VCs+v set exactly while in[p][v] holds or expects a
+	// flit (pkt != nil or reserved != 0); vcBuf.syncLive maintains it from
+	// the serial regions only. The compute stages iterate set bits in
+	// ascending order — identical to the old port-major scan, so arbitration
+	// order (and every artifact) is unchanged. Config.Validate caps
+	// NumPorts*VCs at 64 bits.
+	live uint64
+
+	// neigh/oppIn cache the mesh wiring (wired once after construction):
+	// the router behind each output port and its input VCs facing us.
+	// They replace per-cycle Config.neighbor arithmetic on the hot paths.
+	neigh [NumPorts]*Router
+	oppIn [NumPorts][]vcBuf
 
 	engine   *disco.Engine
 	engineVC *vcBuf // VC whose packet the engine is processing
@@ -52,11 +72,17 @@ type Router struct {
 	saWants [NumPorts][]saWant
 	arbVCs  []*vcBuf
 	arbCand []disco.Candidate
+	// flitScratch backs the flit-value slices fed to the engine (job
+	// start, fragment absorb). The engine copies what it keeps, so the
+	// array is reusable immediately.
+	flitScratch [maxPacketFlits - 1]uint64
 
 	// Staged effects of the two-phase engine (see DESIGN.md §9): the
 	// compute phase of a stage records every effect that touches shared
 	// state here; the commit phase applies them in canonical router
-	// order. All are reused scratch, reset by their commit.
+	// order. All are reused scratch, reset by their commit. On the serial
+	// engine the stall bookkeeping commits in place instead (see
+	// computeSA), so saStalls stays empty.
 	traceBuf    []stagedTrace // compute-phase trace events (parallel only)
 	saWinners   []*vcBuf      // SA winners, in output-port order
 	saStalls    []saStall     // SA stall bookkeeping on shared Packet fields
@@ -82,25 +108,23 @@ type saStall struct {
 
 // busy reports whether the router holds or expects any flit.
 func (r *Router) busy() bool {
-	for p := Port(0); p < NumPorts; p++ {
-		for _, e := range r.in[p] {
-			if e.pkt != nil || e.reserved != 0 {
-				return true
-			}
-		}
-	}
-	return r.engine != nil && r.engine.Busy()
+	return r.live != 0 || (r.engine != nil && r.engine.Busy())
 }
 
-// newRouter wires one router.
+// newRouter wires one router. The neighbor caches are filled by
+// wireNeighbors once every router exists.
 func newRouter(id int, net *Network) *Router {
 	r := &Router{id: id, net: net}
+	vcs := net.cfg.VCs
+	r.vcs = make([]vcBuf, int(NumPorts)*vcs)
 	for p := Port(0); p < NumPorts; p++ {
-		r.in[p] = make([]*vcBuf, net.cfg.VCs)
-		for v := range r.in[p] {
-			r.in[p][v] = &vcBuf{}
+		r.in[p] = r.vcs[int(p)*vcs : (int(p)+1)*vcs]
+		for v := 0; v < vcs; v++ {
+			e := &r.in[p][v]
+			e.owner = r
+			e.bit = 1 << uint(int(p)*vcs+v)
 		}
-		r.outOwner[p] = make([]*Packet, net.cfg.VCs)
+		r.outOwner[p] = make([]*Packet, vcs)
 	}
 	if net.cfg.Disco != nil {
 		r.engine = disco.NewEngine(net.cfg.Disco.Algorithm)
@@ -113,52 +137,54 @@ func newRouter(id int, net *Network) *Router {
 	return r
 }
 
+// wireNeighbors resolves the mesh wiring into direct references; called
+// by New after all routers are constructed.
+func (r *Router) wireNeighbors() {
+	for p := East; p < Local; p++ {
+		nb := r.net.cfg.neighbor(r.id, p)
+		if nb < 0 {
+			continue
+		}
+		d := r.net.Routers[nb]
+		r.neigh[p] = d
+		r.oppIn[p] = d.in[p.opposite()]
+	}
+}
+
 // eachVC iterates input VCs in deterministic order.
 func (r *Router) eachVC(f func(p Port, v int, e *vcBuf)) {
 	for p := Port(0); p < NumPorts; p++ {
 		for v := range r.in[p] {
-			f(p, v, r.in[p][v])
+			f(p, v, &r.in[p][v])
 		}
 	}
 }
 
 // downstream returns the router behind output port p, or nil for Local /
 // mesh edge.
-func (r *Router) downstream(p Port) *Router {
-	if p == Local {
-		return nil
-	}
-	n := r.net.cfg.neighbor(r.id, p)
-	if n < 0 {
-		return nil
-	}
-	return r.net.Routers[n]
-}
+func (r *Router) downstream(p Port) *Router { return r.neigh[p] }
 
 // downstreamOccupancy sums occupied+reserved slots of the downstream input
 // buffers behind port p — the credit_in-derived remote pressure of Fig. 3.
+// oppIn[p] is nil (zero iterations) for Local and mesh-edge ports.
 func (r *Router) downstreamOccupancy(p Port) int {
-	d := r.downstream(p)
-	if d == nil {
-		return 0
-	}
-	ip := p.opposite()
+	down := r.oppIn[p]
 	occ := 0
-	for _, e := range d.in[ip] {
-		occ += e.occupancy()
+	for i := range down {
+		occ += down[i].occupancy()
 	}
 	return occ
 }
 
 // localContention sums buffered flits of OTHER VCs heading for output port
-// p — the credit_out-derived local pressure of Fig. 3.
+// p — the credit_out-derived local pressure of Fig. 3. Only live VCs can
+// hold buffered flits, so the scan walks the live mask.
 func (r *Router) localContention(p Port, self *vcBuf) int {
 	occ := 0
-	for ip := Port(0); ip < NumPorts; ip++ {
-		for _, e := range r.in[ip] {
-			if e != self && e.pkt != nil && e.state >= vcVA && e.outPort == p {
-				occ += e.stored
-			}
+	for m := r.live; m != 0; m &= m - 1 {
+		e := &r.vcs[bits.TrailingZeros64(m)]
+		if e != self && e.pkt != nil && e.state >= vcVA && e.outPort == p {
+			occ += e.stored
 		}
 	}
 	return occ
@@ -183,15 +209,14 @@ func (r *Router) computeAlloc() {
 
 // computeRC computes output ports for newly arrived heads.
 func (r *Router) computeRC() {
-	for p := Port(0); p < NumPorts; p++ {
-		for _, e := range r.in[p] {
-			if e.state != vcRoute {
-				continue
-			}
-			e.outPort = r.routeFor(e.pkt.Dst)
-			e.state = vcVA
-			r.trace(EvRoute, e.pkt)
+	for m := r.live; m != 0; m &= m - 1 {
+		e := &r.vcs[bits.TrailingZeros64(m)]
+		if e.state != vcRoute {
+			continue
 		}
+		e.outPort = r.routeFor(e.pkt.Dst)
+		e.state = vcVA
+		r.trace(EvRoute, e.pkt)
 	}
 }
 
@@ -230,35 +255,33 @@ func (r *Router) computeVA() {
 	for p := Port(0); p < NumPorts; p++ {
 		reqs[p] = reqs[p][:0]
 	}
-	for p := Port(0); p < NumPorts; p++ {
-		for _, e := range r.in[p] {
-			if e.state != vcVA {
-				continue
-			}
-			if e.outPort == Local {
-				// Ejection needs no downstream VC.
-				e.outVC = -1
-				e.state = vcActive
-				continue
-			}
-			reqs[e.outPort] = append(reqs[e.outPort], e)
+	for m := r.live; m != 0; m &= m - 1 {
+		e := &r.vcs[bits.TrailingZeros64(m)]
+		if e.state != vcVA {
+			continue
 		}
+		if e.outPort == Local {
+			// Ejection needs no downstream VC.
+			e.outVC = -1
+			e.state = vcActive
+			continue
+		}
+		reqs[e.outPort] = append(reqs[e.outPort], e)
 	}
 	for p := Port(0); p < NumPorts; p++ {
 		cand := reqs[p]
 		if len(cand) == 0 {
 			continue
 		}
-		d := r.downstream(p)
-		if d == nil {
+		down := r.oppIn[p]
+		if down == nil {
 			// Edge port: XY routing never requests it; defensive.
 			continue
 		}
 		// Find a free downstream VC.
 		free := -1
-		ip := p.opposite()
 		for v := range r.outOwner[p] {
-			if r.outOwner[p][v] == nil && d.in[ip][v].pkt == nil && d.in[ip][v].reserved == 0 {
+			if r.outOwner[p][v] == nil && down[v].pkt == nil && down[v].reserved == 0 {
 				free = v
 				break
 			}
@@ -310,9 +333,7 @@ func (r *Router) schedulableIgnoringLock(e *vcBuf) bool {
 		return false // the whole packet must be stored before forwarding
 	}
 	if e.outPort != Local {
-		d := r.downstream(e.outPort)
-		dst := d.in[e.outPort.opposite()][e.outVC]
-		if dst.occupancy() >= r.net.cfg.BufDepth {
+		if r.oppIn[e.outPort][e.outVC].occupancy() >= r.net.cfg.BufDepth {
 			return false // no credit
 		}
 	}
@@ -333,35 +354,57 @@ func (r *Router) priority(p *Packet) int {
 
 // computeSA arbitrates the crossbar (one flit per input port and per
 // output port) against prior-cycle credit state. Winners are staged (in
-// output-port order) for commitSA to traverse; stall bookkeeping on
-// shared Packet fields is staged alongside. Round-robin pointers, wait
-// counters and lostArb flags are router-local and advance in place.
+// output-port order) for commitSA to traverse. Stall bookkeeping lands on
+// shared Packet fields: on the serial engine it commits in place (the
+// counters are only read at ejection, and a packet this router stalls
+// cannot eject elsewhere the same cycle — the head router must hold every
+// flit before ejecting, so this router released the packet at least one
+// cycle earlier); under the parallel engine, where two routers can reach
+// the same packet concurrently, it is staged for commitSA. Round-robin
+// pointers, wait counters and lostArb flags are router-local and advance
+// in place.
 func (r *Router) computeSA() {
 	var inUsed [NumPorts]bool
 	wants := &r.saWants
 	for p := Port(0); p < NumPorts; p++ {
 		wants[p] = wants[p][:0]
 	}
-	for ip := Port(0); ip < NumPorts; ip++ {
-		for _, e := range r.in[ip] {
-			if e.pkt == nil {
-				continue
-			}
-			if r.schedulable(e) {
-				wants[e.outPort] = append(wants[e.outPort], saWant{e, ip, r.priority(e.pkt)})
-			} else if e.state >= vcVA && e.stored > 0 {
-				// Buffered but unable to move: queueing time DISCO can use.
-				e.waitCycles++
-				st := saStall{pkt: e.pkt}
-				if e.lock != lockNone && r.schedulableIgnoringLock(e) {
+	// Inline stall commits need more than a serial engine: tracers
+	// snapshot pkt.Queueing/EngineStall into every record, and a wormhole
+	// packet stalled here can be granted (and traced) at its head router
+	// the same cycle — so with a tracer attached the stalls stay staged,
+	// keeping the artifact byte-identical at every worker count. Without
+	// a tracer the counters are only read at ejection, which can never
+	// land in the same cycle as an upstream stall (the head router must
+	// hold every flit to eject, so the upstream released the packet at
+	// least a cycle earlier).
+	inline := r.net.pool == nil && r.net.tracer == nil
+	vcs := r.net.cfg.VCs
+	for m := r.live; m != 0; m &= m - 1 {
+		idx := bits.TrailingZeros64(m)
+		e := &r.vcs[idx]
+		if e.pkt == nil {
+			continue
+		}
+		if r.schedulable(e) {
+			ip := Port(idx / vcs)
+			wants[e.outPort] = append(wants[e.outPort], saWant{e, ip, r.priority(e.pkt)})
+		} else if e.state >= vcVA && e.stored > 0 {
+			// Buffered but unable to move: queueing time DISCO can use.
+			e.waitCycles++
+			engineStall := e.lock != lockNone && r.schedulableIgnoringLock(e)
+			if inline {
+				e.pkt.Queueing++
+				if engineStall {
 					// The engine lock is the only blocker: this stall
 					// cycle is exposed engine latency, not overlap.
-					st.engineStall = true
+					e.pkt.Life.EngineStall++
 				}
-				r.saStalls = append(r.saStalls, st)
-				if e.state == vcActive && e.sent < e.ready && e.lock == lockNone {
-					e.lostArb = true // blocked on credits: a contention loser too
-				}
+			} else {
+				r.saStalls = append(r.saStalls, saStall{pkt: e.pkt, engineStall: engineStall})
+			}
+			if e.state == vcActive && e.sent < e.ready && e.lock == lockNone {
+				e.lostArb = true // blocked on credits: a contention loser too
 			}
 		}
 	}
@@ -388,7 +431,11 @@ func (r *Router) computeSA() {
 			for _, w := range cand {
 				w.e.lostArb = true
 				w.e.waitCycles++
-				r.saStalls = append(r.saStalls, saStall{pkt: w.e.pkt})
+				if inline {
+					w.e.pkt.Queueing++
+				} else {
+					r.saStalls = append(r.saStalls, saStall{pkt: w.e.pkt})
+				}
 			}
 			continue
 		}
@@ -397,7 +444,11 @@ func (r *Router) computeSA() {
 			if i != best {
 				w.e.lostArb = true
 				w.e.waitCycles++
-				r.saStalls = append(r.saStalls, saStall{pkt: w.e.pkt})
+				if inline {
+					w.e.pkt.Queueing++
+				} else {
+					r.saStalls = append(r.saStalls, saStall{pkt: w.e.pkt})
+				}
 			}
 		}
 		winner := cand[best]
@@ -407,7 +458,8 @@ func (r *Router) computeSA() {
 }
 
 // commitSA applies this router's staged switch-allocation effects: the
-// stall counters, then the winner traversals (flit moves, credit
+// stall counters (parallel engine only — the serial engine committed
+// them during computeSA), then the winner traversals (flit moves, credit
 // reservations, ejections, fault draws) in output-port order. Called by
 // the network serially in router-index order — a winner's credit check
 // stays valid because its downstream VC has exactly one upstream owner,
@@ -455,9 +507,9 @@ func (r *Router) traverse(e *vcBuf) {
 		}
 		return
 	}
-	d := r.downstream(e.outPort)
+	d := r.neigh[e.outPort]
 	ip := e.outPort.opposite()
-	dst := d.in[ip][e.outVC]
+	dst := &r.oppIn[e.outPort][e.outVC]
 	if f := r.net.fault; f != nil {
 		if e.sent == 1 && pkt.Compressed && len(pkt.Comp.Payload) > 0 && f.PayloadFlip() {
 			// Bit-flip the compressed payload as its head flit enters the
@@ -601,7 +653,7 @@ func (r *Router) computeEngine() {
 	if job.Kind == disco.JobCompress && e.lock == lockCommitted {
 		avail := e.arrived - 1 // payload flits here
 		if n := avail - e.absorbed; n > 0 {
-			r.engine.Absorb(e.pkt.payloadFlitValues(e.absorbed, n))
+			r.engine.Absorb(e.pkt.payloadFlitValuesInto(r.flitScratch[:0], e.absorbed, n))
 			e.absorbPayload(n)
 		}
 	}
@@ -613,6 +665,8 @@ func (r *Router) computeEngine() {
 // Confidence) is pure and the occupancy reads see only prior-cycle
 // state, so the whole selection is compute-safe; the engine start is
 // deferred to commitArb because it draws from the shared fault oracle.
+// Every VC scan walks the live mask: lostArb and stored>0 both imply a
+// resident packet, so idle VCs have nothing to contribute.
 func (r *Router) computeArb() {
 	cfg := r.net.cfg.Disco
 	if cfg == nil {
@@ -623,7 +677,9 @@ func (r *Router) computeArb() {
 			// Circuit breaker open: this router's engine is bypassed
 			// (selective-compression fallback). Consume this cycle's
 			// lostArb flags so they do not go stale.
-			r.eachVC(func(_ Port, _ int, e *vcBuf) { e.lostArb = false })
+			for m := r.live; m != 0; m &= m - 1 {
+				r.vcs[bits.TrailingZeros64(m)].lostArb = false
+			}
 			return
 		}
 		r.breakerOpen = false
@@ -633,50 +689,47 @@ func (r *Router) computeArb() {
 	engineFree := !r.engine.Busy()
 	r.arbVCs = r.arbVCs[:0]
 	r.arbCand = r.arbCand[:0]
-	for p := Port(0); p < NumPorts; p++ {
-		for _, e := range r.in[p] {
-			lost := e.lostArb
-			e.lostArb = false
-			if !engineFree || !lost || e.pkt == nil || e.sent > 0 || e.lock != lockNone || e.state < vcVA {
-				continue
-			}
-			pkt := e.pkt
-			if !pkt.Compressible || pkt.CompressionFailed {
-				continue
-			}
-			if cfg.ResponseOnly && pkt.Class != ClassResponse {
-				continue
-			}
-			fullyArrived := e.arrived == pkt.FlitCount
-			var decompress bool
-			switch {
-			case pkt.Compressed && !pkt.WantCompressedAtDst && fullyArrived:
-				decompress = true
-			case !pkt.Compressed && (pkt.WantCompressedAtDst || cfg.CompressCoreBound):
-				if !cfg.SeparateFlit && !fullyArrived {
-					continue
-				}
-				if e.arrived < 2 {
-					continue // need at least one payload flit to absorb
-				}
-			default:
-				continue
-			}
-			r.arbVCs = append(r.arbVCs, e)
-			r.arbCand = append(r.arbCand, disco.Candidate{
-				RemoteOccupancy: r.downstreamOccupancy(e.outPort),
-				LocalOccupancy:  r.localContention(e.outPort, e),
-				HopsRemaining:   r.net.cfg.Hops(r.id, pkt.Dst),
-				Decompress:      decompress,
-			})
+	for m := r.live; m != 0; m &= m - 1 {
+		e := &r.vcs[bits.TrailingZeros64(m)]
+		lost := e.lostArb
+		e.lostArb = false
+		if !engineFree || !lost || e.pkt == nil || e.sent > 0 || e.lock != lockNone || e.state < vcVA {
+			continue
 		}
+		pkt := e.pkt
+		if !pkt.Compressible || pkt.CompressionFailed {
+			continue
+		}
+		if cfg.ResponseOnly && pkt.Class != ClassResponse {
+			continue
+		}
+		fullyArrived := e.arrived == pkt.FlitCount
+		var decompress bool
+		switch {
+		case pkt.Compressed && !pkt.WantCompressedAtDst && fullyArrived:
+			decompress = true
+		case !pkt.Compressed && (pkt.WantCompressedAtDst || cfg.CompressCoreBound):
+			if !cfg.SeparateFlit && !fullyArrived {
+				continue
+			}
+			if e.arrived < 2 {
+				continue // need at least one payload flit to absorb
+			}
+		default:
+			continue
+		}
+		r.arbVCs = append(r.arbVCs, e)
+		r.arbCand = append(r.arbCand, disco.Candidate{
+			RemoteOccupancy: r.downstreamOccupancy(e.outPort),
+			LocalOccupancy:  r.localContention(e.outPort, e),
+			HopsRemaining:   r.net.cfg.Hops(r.id, pkt.Dst),
+			Decompress:      decompress,
+		})
 	}
 	if cfg.Adaptive {
 		occ := 0
-		for p := Port(0); p < NumPorts; p++ {
-			for _, e := range r.in[p] {
-				occ += e.stored
-			}
+		for m := r.live; m != 0; m &= m - 1 {
+			occ += r.vcs[bits.TrailingZeros64(m)].stored
 		}
 		capacity := float64(int(NumPorts) * r.net.cfg.VCs * r.net.cfg.BufDepth)
 		r.congestionEWMA = 0.95*r.congestionEWMA + 0.05*float64(occ)/capacity
@@ -709,7 +762,7 @@ func (r *Router) commitArb() {
 		sel.beginShadowJob(0)
 	} else {
 		resident := sel.arrived - 1
-		job := r.engine.StartCompress(pkt.ID, pkt.payloadFlitValues(0, resident),
+		job := r.engine.StartCompress(pkt.ID, pkt.payloadFlitValuesInto(r.flitScratch[:0], 0, resident),
 			compress.BlockSize/compress.FlitBytes, r.net.Cycle)
 		job.SetBlock(pkt.Block)
 		sel.beginShadowJob(resident)

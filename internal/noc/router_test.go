@@ -31,12 +31,13 @@ func TestDownstreamOccupancy(t *testing.T) {
 func TestLocalContention(t *testing.T) {
 	n := mustNet(t, DefaultConfig())
 	r := n.Routers[5]
-	self := r.in[West][0]
-	other := r.in[North][0]
+	self := &r.in[West][0]
+	other := &r.in[North][0]
 	other.pkt = NewControlPacket(1, 0, 0, ClassRequest)
 	other.state = vcActive
 	other.outPort = East
 	other.stored = 4
+	other.syncLive() // direct pkt write above bypassed attachPacket
 	if got := r.localContention(East, self); got != 4 {
 		t.Errorf("localContention = %d, want 4", got)
 	}
@@ -138,7 +139,7 @@ func TestVCStateProgression(t *testing.T) {
 	n := mustNet(t, DefaultConfig())
 	n.Inject(NewControlPacket(1, 0, 3, ClassRequest))
 	n.Step() // injection: head lands in local VC, state=vcRoute
-	e := n.Routers[0].in[Local][0]
+	e := &n.Routers[0].in[Local][0]
 	if e.pkt == nil {
 		t.Fatal("head not injected")
 	}

@@ -114,9 +114,11 @@ func (g *TrafficGen) dest(src int) int {
 	}
 }
 
-// payload synthesizes a block, compressible or not.
+// payload synthesizes a block, compressible or not. The block comes
+// from the network's arena and is fully overwritten either way, so a
+// recycled block never leaks stale content.
 func (g *TrafficGen) payload() []byte {
-	b := make([]byte, compress.BlockSize)
+	b := g.net.takeBlock()
 	if g.rng.Float64() < g.cfg.CompressibleFraction {
 		base := g.rng.Uint64()
 		for i := 0; i < 8; i++ {
@@ -150,7 +152,7 @@ func (g *TrafficGen) Step() {
 			// response) payload directions.
 			wantCompressed := g.nextID%2 == 0
 			blk := g.payload()
-			p := NewDataPacket(g.nextID, src, dst, blk, wantCompressed)
+			p := initDataPacket(g.net.takePacket(), g.nextID, src, dst, blk, wantCompressed)
 			if !wantCompressed {
 				if c := g.alg.Compress(blk); !c.Stored {
 					p.ApplyCompression(c)
@@ -162,7 +164,7 @@ func (g *TrafficGen) Step() {
 			if g.nextID%3 == 0 {
 				class = ClassCoherence
 			}
-			g.net.Inject(NewControlPacket(g.nextID, src, dst, class))
+			g.net.Inject(initControlPacket(g.net.takePacket(), g.nextID, src, dst, class))
 		}
 	}
 }

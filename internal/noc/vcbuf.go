@@ -47,6 +47,17 @@ type vcBuf struct {
 	outPort  Port
 	outVC    int
 
+	// owner/bit tie the VC into its router's live-occupancy bitmask: bit
+	// is set in owner.live exactly while the VC holds or expects a flit
+	// (pkt != nil or reserved != 0). The compute stages iterate the mask
+	// instead of scanning every VC. Both are wired once at construction
+	// and survive reset; every pkt/reserved transition calls syncLive.
+	// All such transitions happen in serial regions (the Step prologue,
+	// the commit phases, NI injection), so the mask is never written
+	// concurrently. owner is nil for detached buffers in unit tests.
+	owner *Router
+	bit   uint64
+
 	lock     lockState
 	absorbed int // payload flits handed to the engine
 
@@ -65,12 +76,37 @@ type vcBuf struct {
 // reset clears the VC for reuse. In-flight flits keep their reservation
 // and lost credits stay lost until their recovery lands.
 func (v *vcBuf) reset() {
-	*v = vcBuf{reserved: v.reserved, lostCredits: v.lostCredits}
+	*v = vcBuf{
+		reserved: v.reserved, lostCredits: v.lostCredits,
+		owner: v.owner, bit: v.bit,
+	}
+	v.syncLive()
 }
 
 // occupancy is the number of buffer slots this VC consumes now or next
 // cycle; a lost credit occupies a slot from the upstream's point of view.
 func (v *vcBuf) occupancy() int { return v.stored + v.reserved + v.lostCredits }
+
+// syncLive updates the owning router's live mask to match the VC's
+// pkt/reserved state. Called by every accessor that can flip it.
+func (v *vcBuf) syncLive() {
+	if v.owner == nil {
+		return
+	}
+	if v.pkt != nil || v.reserved != 0 {
+		v.owner.live |= v.bit
+	} else {
+		v.owner.live &^= v.bit
+	}
+}
+
+// attachPacket anchors a newly arriving packet's head to this VC (link
+// arrival prologue, NI fill).
+func (v *vcBuf) attachPacket(p *Packet) {
+	v.pkt = p
+	v.state = vcRoute
+	v.syncLive()
+}
 
 // syncReady keeps ready mirroring arrived flits while the engine does
 // not own the payload (after a commit the engine streams flits out
@@ -83,7 +119,10 @@ func (v *vcBuf) syncReady() {
 
 // reserveSlot accounts one flit put in flight on the incoming link: the
 // sender holds a credit for it until it lands.
-func (v *vcBuf) reserveSlot() { v.reserved++ }
+func (v *vcBuf) reserveSlot() {
+	v.reserved++
+	v.syncLive()
+}
 
 // acceptFlit lands one link flit: the reservation converts into an
 // occupied buffer slot and an arrived flit.
@@ -92,6 +131,7 @@ func (v *vcBuf) acceptFlit() {
 	v.stored++
 	v.arrived++
 	v.syncReady()
+	v.syncLive()
 }
 
 // acceptNIFlit lands one flit from the local network interface, which
