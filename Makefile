@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint lint-baseline vet fmt test race test-race-parallel cover fuzz-smoke chaos-smoke scaling-curve bench-snapshot bench-compare ci
+.PHONY: all build lint lint-baseline vet fmt test race test-race-parallel cover fuzz-smoke chaos-smoke resume-smoke scaling-curve bench-snapshot bench-compare ci
 
 all: build lint test
 
@@ -76,6 +76,31 @@ chaos-smoke:
 		done; \
 	done
 
+# Kill-resume byte-identity smoke (DESIGN.md §13): run a small campaign
+# uninterrupted (the reference artifact), run it again into a cache
+# directory and SIGINT it mid-flight (exit 5 = interrupted-but-
+# resumable; 0 is tolerated when the tiny campaign wins the race), then
+# resume from the cache and require the resumed JSON artifact to be
+# byte-identical to the reference.
+resume-smoke:
+	@set -e; \
+	tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/discosim" ./cmd/discosim; \
+	args="-exp all -quick -benchmarks swaptions,vips -ops 600 -warmup 150"; \
+	echo "== resume-smoke: reference run =="; \
+	"$$tmp/discosim" $$args -json "$$tmp/ref.json" >/dev/null; \
+	echo "== resume-smoke: interrupted run =="; \
+	"$$tmp/discosim" $$args -json "$$tmp/int.json" -cache-dir "$$tmp/cache" >/dev/null & pid=$$!; \
+	sleep 2; kill -INT $$pid 2>/dev/null || true; \
+	rc=0; wait $$pid || rc=$$?; \
+	if [ "$$rc" != 5 ] && [ "$$rc" != 0 ]; then \
+		echo "interrupted run exited $$rc, want 5 (resumable) or 0"; exit 1; fi; \
+	echo "interrupted run exit code: $$rc"; \
+	echo "== resume-smoke: resumed run =="; \
+	"$$tmp/discosim" $$args -json "$$tmp/res.json" -cache-dir "$$tmp/cache" -resume >/dev/null; \
+	cmp "$$tmp/ref.json" "$$tmp/res.json"; \
+	echo "resume-smoke: resumed artifact is byte-identical to the uninterrupted run"
+
 # Worker-count scaling curve on a short full-system run: sweep
 # -sim-workers over the two-phase engine and write cycles/sec plus the
 # per-phase wall-clock breakdown as CSV. CI uploads the curve as a
@@ -119,4 +144,4 @@ bench-compare:
 	$(GO) run ./cmd/benchcmp -baseline bench/baseline_pr6.txt -new bench/new.txt \
 		-require 'BenchmarkCompressSC2=50,BenchmarkNoCStepMesh8Serial=30'
 
-ci: build lint race test-race-parallel cover fuzz-smoke chaos-smoke
+ci: build lint race test-race-parallel cover fuzz-smoke chaos-smoke resume-smoke

@@ -6,9 +6,21 @@
 //	discosim -exp fig5                # Figure 5 at full fidelity
 //	discosim -exp all -quick          # everything, reduced settings
 //	discosim -exp fig7 -benchmarks canneal,streamcluster -ops 8000
+//	discosim -exp all -cache-dir .disco-cache        # crash-safe campaign
+//	discosim -exp all -cache-dir .disco-cache -resume
 //	discosim -run disco -benchmark canneal -alg sc2   # one raw run
 //	discosim -run disco -benchmark canneal -profile -http :6060
 //	discosim -run disco -scaling 1,2,4,8 -scaling-csv scaling.csv
+//
+// Exit codes (see README "Resumable campaigns"):
+//
+//	0  success
+//	1  internal error (I/O, unexpected failure)
+//	2  configuration error (bad flags, unknown mode/benchmark/experiment)
+//	3  progress-watchdog stall
+//	4  a cell failed terminally after exhausting its retries
+//	5  interrupted (SIGINT/SIGTERM) after a graceful drain — resumable
+//	   with the same -cache-dir plus -resume
 package main
 
 import (
@@ -18,8 +30,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/compress"
@@ -29,10 +43,58 @@ import (
 	"github.com/disco-sim/disco/internal/noc"
 	"github.com/disco-sim/disco/internal/obs"
 	"github.com/disco-sim/disco/internal/simrun"
+	"github.com/disco-sim/disco/internal/store"
 	"github.com/disco-sim/disco/internal/trace"
 )
 
+// The documented exit-code contract (tested in main_test.go).
+const (
+	ExitOK          = 0 // everything ran and every artifact was written
+	ExitError       = 1 // internal error: I/O failure, unexpected error
+	ExitConfig      = 2 // configuration error: bad flags, unknown names
+	ExitStall       = 3 // the progress watchdog declared a stall
+	ExitCellFailed  = 4 // a cell failed terminally after its retries
+	ExitInterrupted = 5 // graceful drain completed; campaign is resumable
+)
+
+// configError marks operator-input mistakes so they exit with
+// ExitConfig instead of ExitError.
+type configError struct{ err error }
+
+func (e *configError) Error() string { return e.err.Error() }
+func (e *configError) Unwrap() error { return e.err }
+
+// exitCode classifies err per the documented contract. Order matters:
+// an interrupted campaign wraps ErrInterrupted even when cancellation
+// text mentions other cells, and a stalled cell reaches the runner as
+// a *CellError wrapping the *StallError — the stall is the diagnosis.
+func exitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	if errors.Is(err, simrun.ErrInterrupted) {
+		return ExitInterrupted
+	}
+	var se *cmp.StallError
+	if errors.As(err, &se) {
+		return ExitStall
+	}
+	var ce *simrun.CellError
+	if errors.As(err, &ce) {
+		return ExitCellFailed
+	}
+	var cfg *configError
+	if errors.As(err, &cfg) {
+		return ExitConfig
+	}
+	return ExitError
+}
+
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		exp     = flag.String("exp", "", "experiment: table1|fig5|fig6|fig7|fig8|area|ablation|calibrate|motivation|sensitivity|composition|all")
 		jsonOut = flag.String("json", "", "write all experiment results as JSON to this file (runs everything)")
@@ -53,6 +115,10 @@ func main() {
 		traceBin     = flag.String("trace-bin", "", "with -run: write a binary event trace (analyze with discotrace)")
 		faultSpec    = flag.String("fault-spec", "", `with -run: arm fault injection, e.g. "engine=0.01,stuck=32,payload=0.001,credit=0.001" (see internal/fault)`)
 		faultSeed    = flag.Int64("fault-seed", 1, "with -run: fault-injection PRNG seed")
+
+		cacheDir = flag.String("cache-dir", "", "persist campaign results in this directory (crash-safe content-addressed store; reruns replay finished cells)")
+		resume   = flag.Bool("resume", false, "with -cache-dir: report the previous campaign's manifest before replaying finished cells")
+		retries  = flag.Int("retries", 2, "with -cache-dir: transient-failure retries per cell before recording a terminal failure")
 
 		jobs       = flag.Int("j", 0, "parallel simulation workers (0 = all cores); results are byte-identical at any setting")
 		simWorkers = flag.Int("sim-workers", 1, "with -run: shard the NoC cycle engine across this many workers within the one simulation; results are byte-identical at any setting")
@@ -83,13 +149,17 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "discosim:", err)
-			os.Exit(1)
+			return exitCode(err)
 		}
-		return
+		return ExitOK
 	}
 	if *exp == "" && *jsonOut == "" && *csvOut == "" {
 		flag.Usage()
-		os.Exit(2)
+		return ExitConfig
+	}
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "discosim: -resume requires -cache-dir")
+		return ExitConfig
 	}
 	o := experiments.Default()
 	if *quick {
@@ -105,66 +175,156 @@ func main() {
 	if *benchs != "" {
 		o.Benchmarks = strings.Split(*benchs, ",")
 	}
+	for _, b := range o.Benchmarks {
+		if _, ok := trace.ByName(b); !ok {
+			fmt.Fprintf(os.Stderr, "discosim: unknown benchmark %q (have %s)\n",
+				b, strings.Join(trace.Names(), ","))
+			return ExitConfig
+		}
+	}
 	// One scheduler for the whole invocation: experiments submit their
 	// cells to it, and the memo cache dedupes shared baselines across
 	// figures. Artifacts go to stdout/files; the summary goes to stderr
 	// so redirected output stays byte-identical.
 	o.Runner = simrun.New(*jobs, !*noCache)
-	defer func() {
-		st := o.Runner.Stats()
-		if st.Submitted > 0 {
-			rep.Infof("simrun: %d cells (%d simulated, %d cache hits), j=%d",
-				st.Submitted, st.Executed, st.Hits, o.Runner.Workers())
+	// Campaign persistence (DESIGN.md §13): the store becomes the second
+	// cache tier behind the memo map, every distinct cell's outcome is
+	// recorded in the manifest, and SIGINT/SIGTERM triggers a graceful
+	// drain so in-flight results still reach disk before exit.
+	var (
+		st *store.Store
+		mf *store.Manifest
+	)
+	if *cacheDir != "" {
+		var err error
+		st, err = store.Open(*cacheDir, store.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discosim:", err)
+			return ExitError
 		}
-	}()
+		if *resume && st.HasManifest() {
+			if prev, err := st.LoadManifest(); err != nil {
+				rep.Warnf("previous manifest unreadable (%v); replaying from store entries alone", err)
+			} else {
+				done, failed, canceled := prev.Counts()
+				rep.Infof("resume: previous campaign recorded %d cells (%d done, %d failed, %d canceled); finished cells replay from %s",
+					prev.Len(), done, failed, canceled, st.Dir())
+			}
+		}
+		mf = store.NewManifest(st.Version())
+		o.Runner.SetStore(st)
+		retry := simrun.DefaultRetry()
+		retry.MaxAttempts = *retries + 1
+		o.Runner.SetRetry(retry)
+		o.Runner.SetObserver(func(out simrun.Outcome) {
+			rec := store.CellRecord{Key: out.Key.String(),
+				Entry: st.EntryName(out.Key.Canonical()), Attempts: out.Attempts}
+			switch {
+			case out.Err == nil:
+				rec.Status = store.StatusDone
+				rec.Source = store.SourceSimulated
+				if out.FromDisk {
+					rec.Source = store.SourceDisk
+				}
+			case out.Attempts > 0:
+				rec.Status = store.StatusFailed
+				rec.Error = out.Err.Error()
+			default:
+				rec.Status = store.StatusCanceled
+				rec.Error = out.Err.Error()
+			}
+			mf.Record(rec)
+		})
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			<-sigc
+			rep.Infof("interrupt: draining in-flight cells (interrupt again to exit immediately)")
+			o.Runner.Interrupt()
+			<-sigc
+			os.Exit(ExitInterrupted)
+		}()
+	}
 	if *httpAddr != "" {
 		srv, err := startCampaignServer(*httpAddr, o.Runner, rep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "discosim:", err)
-			os.Exit(1)
+			return ExitError
 		}
 		defer srv.Close()
 	}
-	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "discosim:", err)
-			os.Exit(1)
-		}
-		if err := experiments.BatchCSV(o, *alg, f); err != nil {
-			_ = f.Close() // the write error is the one worth reporting
-			fmt.Fprintln(os.Stderr, "discosim:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "discosim:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *csvOut)
-		return
+	var runErr error
+	switch {
+	case *csvOut != "":
+		runErr = writeCSVCampaign(o, *alg, *csvOut)
+	case *jsonOut != "":
+		runErr = writeJSONCampaign(o, *jsonOut)
+	default:
+		runErr = runExperiments(*exp, o)
 	}
-	if *jsonOut != "" {
-		rep, err := experiments.RunAll(o)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "discosim:", err)
-			os.Exit(1)
+	code := exitCode(runErr)
+	if st != nil {
+		// Wait for drained/canceled cells to settle so the manifest and
+		// store see every outcome, then flush the ledger.
+		o.Runner.Quiesce()
+		if merr := st.SaveManifest(mf); merr != nil {
+			// Results durability lives in the entries; a manifest write
+			// failure degrades reporting, not resumability.
+			rep.Warnf("manifest not saved: %v", merr)
 		}
-		data, err := rep.JSON()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "discosim:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "discosim:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *jsonOut)
-		return
 	}
-	if err := runExperiments(*exp, o); err != nil {
-		fmt.Fprintln(os.Stderr, "discosim:", err)
-		os.Exit(1)
+	ss := o.Runner.Stats()
+	if ss.Submitted > 0 {
+		rep.Infof("simrun: %d cells (%d simulated, %d cache hits, %d disk hits), j=%d",
+			ss.Submitted, ss.Executed, ss.Hits, ss.DiskHits, o.Runner.Workers())
+		if st != nil && (ss.Retries > 0 || ss.Quarantined > 0) {
+			rep.Infof("store: %d retries, %d quarantined entries", ss.Retries, ss.Quarantined)
+		}
 	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "discosim:", runErr)
+	}
+	if code == ExitInterrupted {
+		rep.Infof("interrupted: campaign is resumable — rerun with -cache-dir %s -resume", *cacheDir)
+	}
+	return code
+}
+
+// writeCSVCampaign runs the raw benchmark x mode batch and writes it as
+// CSV to path.
+func writeCSVCampaign(o experiments.Opts, alg, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.BatchCSV(o, alg, f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeJSONCampaign runs every experiment and writes the combined
+// report as JSON to path.
+func writeJSONCampaign(o experiments.Opts, path string) error {
+	r, err := experiments.RunAll(o)
+	if err != nil {
+		return err
+	}
+	data, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // runExperiments dispatches one or all experiments.
@@ -276,7 +436,7 @@ func runExperiments(exp string, o experiments.Opts) error {
 		fmt.Println(r.Table())
 	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q", exp)
+		return &configError{fmt.Errorf("unknown experiment %q", exp)}
 	}
 	return nil
 }
@@ -310,7 +470,7 @@ func (o observeOpts) reporter() *obs.Reporter {
 func buildConfig(mode, bench, alg string, k, ops, warmup int, seed int64, o observeOpts) (cmp.Config, error) {
 	prof, ok := trace.ByName(bench)
 	if !ok {
-		return cmp.Config{}, fmt.Errorf("unknown benchmark %q (have %s)", bench, strings.Join(trace.Names(), ","))
+		return cmp.Config{}, &configError{fmt.Errorf("unknown benchmark %q (have %s)", bench, strings.Join(trace.Names(), ","))}
 	}
 	var m cmp.Mode
 	switch mode {
@@ -325,14 +485,14 @@ func buildConfig(mode, bench, alg string, k, ops, warmup int, seed int64, o obse
 	case "disco":
 		m = cmp.DISCO
 	default:
-		return cmp.Config{}, fmt.Errorf("unknown mode %q", mode)
+		return cmp.Config{}, &configError{fmt.Errorf("unknown mode %q", mode)}
 	}
 	var a compress.Algorithm
 	if m != cmp.Baseline {
 		var err error
 		a, err = compress.New(alg)
 		if err != nil {
-			return cmp.Config{}, err
+			return cmp.Config{}, &configError{err}
 		}
 	}
 	cfg := cmp.DefaultConfig(m, a, prof)
@@ -347,7 +507,7 @@ func buildConfig(mode, bench, alg string, k, ops, warmup int, seed int64, o obse
 	if o.faultSpec != "" {
 		spec, err := fault.ParseSpec(o.faultSpec)
 		if err != nil {
-			return cmp.Config{}, err
+			return cmp.Config{}, &configError{err}
 		}
 		spec.Seed = o.faultSeed
 		cfg.Fault = &spec
@@ -376,7 +536,7 @@ func singleRun(mode, bench, alg string, k, ops, warmup int, seed int64, o observ
 	}
 	sys, err := cmp.New(cfg)
 	if err != nil {
-		return err
+		return &configError{err}
 	}
 	defer sys.Close()
 	var reg *metrics.Registry
@@ -482,7 +642,7 @@ func scalingRun(mode, bench, alg string, k, ops, warmup int, seed int64, o obser
 	for _, f := range strings.Split(spec, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 1 {
-			return fmt.Errorf("bad -scaling worker count %q", f)
+			return &configError{fmt.Errorf("bad -scaling worker count %q", f)}
 		}
 		counts = append(counts, n)
 	}
@@ -495,7 +655,7 @@ func scalingRun(mode, bench, alg string, k, ops, warmup int, seed int64, o obser
 		cfg.SimWorkers = wkr
 		sys, err := cmp.New(cfg)
 		if err != nil {
-			return err
+			return &configError{err}
 		}
 		pp := obs.NewPhaseProfiler(wkr)
 		sys.AttachProfiler(pp)
@@ -538,11 +698,14 @@ func scalingRun(mode, bench, alg string, k, ops, warmup int, seed int64, o obser
 // campaign: the runner's live cell counters (Done is the number a
 // progress watcher polls).
 type campaignStatus struct {
-	Submitted uint64 `json:"cells_submitted"`
-	Executed  uint64 `json:"cells_executed"`
-	Hits      uint64 `json:"cells_cache_hits"`
-	Done      uint64 `json:"cells_done"`
-	Workers   int    `json:"workers"`
+	Submitted   uint64 `json:"cells_submitted"`
+	Executed    uint64 `json:"cells_executed"`
+	Hits        uint64 `json:"cells_cache_hits"`
+	DiskHits    uint64 `json:"cells_disk_hits"`
+	Retries     uint64 `json:"retries"`
+	Quarantined uint64 `json:"quarantined"`
+	Done        uint64 `json:"cells_done"`
+	Workers     int    `json:"workers"`
 }
 
 // startCampaignServer serves live campaign progress while experiments
@@ -554,7 +717,8 @@ func startCampaignServer(addr string, r *simrun.Runner, rep *obs.Reporter) (*obs
 	srv.SetLiveStatus(func() any {
 		st := r.Stats()
 		return campaignStatus{Submitted: st.Submitted, Executed: st.Executed,
-			Hits: st.Hits, Done: st.Done, Workers: r.Workers()}
+			Hits: st.Hits, DiskHits: st.DiskHits, Retries: st.Retries,
+			Quarantined: st.Quarantined, Done: st.Done, Workers: r.Workers()}
 	})
 	srv.SetLiveMetrics(func() []byte {
 		st := r.Stats()
@@ -563,6 +727,9 @@ func startCampaignServer(addr string, r *simrun.Runner, rep *obs.Reporter) (*obs
 		sc.Counter("cells_submitted").Add(st.Submitted)
 		sc.Counter("cells_executed").Add(st.Executed)
 		sc.Counter("cells_cache_hits").Add(st.Hits)
+		sc.Counter("disk_hits").Add(st.DiskHits)
+		sc.Counter("retries").Add(st.Retries)
+		sc.Counter("quarantined").Add(st.Quarantined)
 		sc.Counter("cells_done").Add(st.Done)
 		sc.Gauge("workers").Set(float64(r.Workers()))
 		var b bytes.Buffer

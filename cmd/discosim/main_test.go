@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -10,11 +12,135 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/disco-sim/disco/internal/cmp"
 	"github.com/disco-sim/disco/internal/experiments"
 	"github.com/disco-sim/disco/internal/metrics"
 	"github.com/disco-sim/disco/internal/obs"
+	"github.com/disco-sim/disco/internal/simrun"
+	"github.com/disco-sim/disco/internal/store"
 	"github.com/disco-sim/disco/internal/tracefmt"
 )
+
+// TestExitCodeClassification pins the documented exit-code contract
+// (README "Resumable campaigns"): each failure class maps to its code,
+// with interruption taking precedence over the cancellation noise it
+// causes, and a stalled cell diagnosed as a stall rather than a
+// generic cell failure.
+func TestExitCodeClassification(t *testing.T) {
+	plain := errors.New("plain failure")
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"internal", plain, ExitError},
+		{"wrapped internal", fmt.Errorf("campaign: %w", plain), ExitError},
+		{"config", &configError{errors.New("unknown mode")}, ExitConfig},
+		{"wrapped config", fmt.Errorf("setup: %w", &configError{plain}), ExitConfig},
+		{"stall", &cmp.StallError{}, ExitStall},
+		{"cell failure", &simrun.CellError{Attempts: 3, Err: plain}, ExitCellFailed},
+		{"stalled cell is a stall", &simrun.CellError{Attempts: 1, Err: &cmp.StallError{}}, ExitStall},
+		{"interrupted", fmt.Errorf("canceled: %w", simrun.ErrInterrupted), ExitInterrupted},
+		{"interrupted beats cell failure",
+			&simrun.CellError{Attempts: 1, Err: fmt.Errorf("drain: %w", simrun.ErrInterrupted)},
+			ExitInterrupted},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// TestCampaignServerExportsStoreCounters: the campaign /status and
+// /metrics endpoints must carry the persistence counters (disk hits,
+// retries, quarantined) alongside the scheduler ones.
+func TestCampaignServerExportsStoreCounters(t *testing.T) {
+	r := simrun.New(1, true)
+	st, err := store.Open(t.TempDir(), store.Options{Version: "campaign-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetStore(st)
+	key := simrun.Key{Mode: "disco", Algorithm: "delta", Benchmark: "bodytrack",
+		K: 4, Ops: 100, Warmup: 50, Seed: 1, Config: "c"}
+	if err := st.Put(key.Canonical(), cmp.Results{Benchmark: "bodytrack"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(key, func() (cmp.Results, error) {
+		t.Error("pre-seeded cell executed instead of replaying from disk")
+		return cmp.Results{}, nil
+	}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := startCampaignServer("127.0.0.1:0", r, obs.NewReporter(io.Discard, "discosim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	res, err := http.Get("http://" + srv.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&status); err != nil {
+		t.Fatalf("/status is not JSON: %v", err)
+	}
+	for field, want := range map[string]float64{
+		"cells_submitted": 1, "cells_disk_hits": 1, "retries": 0, "quarantined": 0,
+	} {
+		got, ok := status[field].(float64)
+		if !ok || got != want {
+			t.Errorf("/status %s = %v, want %v", field, status[field], want)
+		}
+	}
+
+	res, err = http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	text, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"disco_simrun_disk_hits 1", "disco_simrun_retries 0", "disco_simrun_quarantined 0",
+	} {
+		if !bytes.Contains(text, []byte(family)) {
+			t.Errorf("/metrics missing %q:\n%s", family, text)
+		}
+	}
+	if err := metrics.CheckPrometheusText(bytes.NewReader(text)); err != nil {
+		t.Errorf("/metrics fails exposition lint: %v", err)
+	}
+}
+
+// TestConfigMistakesClassifyAsConfig: every operator-input error the
+// CLI produces must exit 2, not 1.
+func TestConfigMistakesClassifyAsConfig(t *testing.T) {
+	o := observeOpts{rep: obs.NewReporter(io.Discard, "discosim")}
+	for name, err := range map[string]error{
+		"unknown mode":       singleRun("warp", "swaptions", "delta", 4, 100, 50, 1, o),
+		"unknown benchmark":  singleRun("disco", "nope", "delta", 4, 100, 50, 1, o),
+		"unknown algorithm":  singleRun("disco", "swaptions", "bogus", 4, 100, 50, 1, o),
+		"bad fault spec":     singleRun("disco", "swaptions", "delta", 4, 100, 50, 1, observeOpts{faultSpec: "engine=2.0", rep: o.rep}),
+		"unknown experiment": runExperiments("fig99", experiments.Opts{}),
+		"bad scaling list":   scalingRun("disco", "swaptions", "delta", 4, 100, 50, 1, o, "1,zero", ""),
+	} {
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+			continue
+		}
+		if got := exitCode(err); got != ExitConfig {
+			t.Errorf("%s: exitCode = %d, want %d (err: %v)", name, got, ExitConfig, err)
+		}
+	}
+}
 
 func TestSingleRunAllModes(t *testing.T) {
 	if testing.Short() {

@@ -149,10 +149,12 @@ func TestReporter(t *testing.T) {
 	var buf strings.Builder
 	r := NewReporter(&buf, "discosim")
 	r.Infof("simrun: %d cells", 7)
+	r.Warnf("manifest not saved: %v", "disk full")
 	r.Block("stall snapshot", "line one\nline two\n")
 	r.Block("empty", "")
 	got := buf.String()
 	want := "discosim: simrun: 7 cells\n" +
+		"discosim: warning: manifest not saved: disk full\n" +
 		"discosim: stall snapshot\n  line one\n  line two\n" +
 		"discosim: empty\n"
 	if got != want {
@@ -161,6 +163,7 @@ func TestReporter(t *testing.T) {
 
 	var nilRep *Reporter
 	nilRep.Infof("dropped")
+	nilRep.Warnf("dropped")
 	nilRep.Block("dropped", "body")
 }
 

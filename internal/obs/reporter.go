@@ -37,6 +37,18 @@ func (r *Reporter) Infof(format string, args ...any) {
 	_, _ = fmt.Fprintf(r.w, "%s: %s\n", r.tag, fmt.Sprintf(format, args...))
 }
 
+// Warnf writes one prefixed line marked as a warning — degraded but
+// non-fatal conditions (a manifest that failed to save, a corrupt
+// entry quarantined) that should stand out from progress chatter.
+func (r *Reporter) Warnf(format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, _ = fmt.Fprintf(r.w, "%s: warning: %s\n", r.tag, fmt.Sprintf(format, args...))
+}
+
 // Block writes a prefixed title line followed by the body, each body
 // line indented two spaces. Used for multi-line payloads — the stall
 // snapshot, the profiler table — so they read as one unit under the

@@ -38,6 +38,16 @@ func (k Key) String() string {
 		k.K, k.Ops, k.Warmup, k.Seed)
 }
 
+// Canonical renders the full fingerprint — every field that
+// distinguishes one deterministic cell from another — as one string.
+// It is the persistent store's content address (String omits Config,
+// so two cells differing only in, say, VC depth would alias there).
+// Volatile is excluded: volatile cells are never cached at any tier.
+func (k Key) Canonical() string {
+	return fmt.Sprintf("mode=%s|alg=%s|bench=%s|k=%d|ops=%d|warmup=%d|seed=%d|cfg=%s",
+		k.Mode, k.Algorithm, k.Benchmark, k.K, k.Ops, k.Warmup, k.Seed, k.Config)
+}
+
 // KeyFor fingerprints cfg. The algorithm contributes only its name: all
 // instances of one scheme behave identically given the same training
 // input, and training is itself a deterministic function of the

@@ -14,16 +14,41 @@
 // Ideal/CC/CNC delta baselines, and re-running them is pure waste. The
 // cache is single-flight — two submissions of the same Key share one
 // simulation even when both arrive before it finishes.
+//
+// Two optional layers make campaigns crash-safe (DESIGN.md §13):
+//
+//   - SetStore attaches a persistent content-addressed tier
+//     (internal/store) consulted behind the in-process map, so a killed
+//     campaign resumes from disk instead of from zero. Only successful
+//     results are ever persisted; a corrupt entry quarantines and
+//     recomputes.
+//   - SetRetry arms bounded, deterministic per-cell retry for transient
+//     failures (cell panics, injected I/O errors), so one flaky cell no
+//     longer cancels a 136-cell campaign; terminal failures surface as
+//     *CellError, recorded rather than silently dropped.
+//
+// Neither layer is armed by default: a plain New runner behaves exactly
+// as it always has.
 package simrun
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"github.com/disco-sim/disco/internal/cmp"
+	"github.com/disco-sim/disco/internal/store"
 )
+
+// ErrInterrupted marks cells canceled by a graceful drain: Interrupt
+// stops the runner from starting queued cells, and every such cell's
+// future fails with an error wrapping this sentinel. A campaign that
+// exits on it is resumable — completed cells are already durable in
+// the persistent store.
+var ErrInterrupted = errors.New("simrun: campaign interrupted")
 
 // Runner executes simulation cells on a bounded worker pool. Queued
 // cells run in FIFO submission order (with one worker this is exactly
@@ -32,20 +57,30 @@ import (
 type Runner struct {
 	workers int
 
-	mu       sync.Mutex
-	queue    []*job
-	active   int           // running worker goroutines
-	cache    map[Key]*cell // single-flight memo (nil when memoization is off)
-	hits     uint64
-	executed uint64
-	done     uint64 // cells completed (simulated or canceled)
-	canceled bool
-	firstErr error
+	mu        sync.Mutex
+	idle      *sync.Cond // broadcast when the last worker exits
+	queue     []*job
+	active    int           // running worker goroutines
+	cache     map[Key]*cell // single-flight memo (nil when memoization is off)
+	submitted uint64
+	hits      uint64
+	executed  uint64
+	retries   uint64
+	done      uint64 // cells completed (simulated, replayed or canceled)
+	canceled  bool
+	firstErr  error
+	drained   bool // Interrupt called: stop starting queued cells
+
+	store    *store.Store // persistent second tier (nil = off)
+	retry    RetryPolicy
+	sleep    func(time.Duration) // backoff sleeper (tests stub it)
+	observer func(Outcome)       // campaign bookkeeping hook
 }
 
-// job pairs a cell with the closure that simulates it.
+// job pairs a cell with its key and the closure that simulates it.
 type job struct {
 	c   *cell
+	key Key
 	run func() (cmp.Results, error)
 }
 
@@ -72,15 +107,76 @@ func (f *Future) Wait() (cmp.Results, error) {
 type Stats struct {
 	// Submitted counts Submit calls.
 	Submitted uint64
-	// Hits counts submissions served from the memo cache (including
-	// joins on a still-running cell).
+	// Hits counts submissions served from the in-process memo cache
+	// (including joins on a still-running cell).
 	Hits uint64
-	// Executed counts simulations actually run.
+	// DiskHits counts cells replayed from the persistent store instead
+	// of simulated (0 without SetStore).
+	DiskHits uint64
+	// Executed counts simulation attempts actually run, retries
+	// included.
 	Executed uint64
+	// Retries counts re-executions after a transient failure.
+	Retries uint64
+	// Quarantined counts persistent-store entries renamed aside after
+	// failing verification (each one was recomputed, never replayed).
+	Quarantined uint64
 	// Done counts distinct cells whose futures have completed (simulated
 	// or canceled) — the live campaign-progress number the obs /status
 	// endpoint reports while experiments run.
 	Done uint64
+}
+
+// RetryPolicy bounds per-cell retry of transient failures. Backoff is
+// deterministic — BaseDelay doubling per retry up to MaxDelay, no
+// jitter — so a flaky campaign replays identically.
+type RetryPolicy struct {
+	// MaxAttempts caps executions per cell, first try included; values
+	// below 2 disable retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = no cap).
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the campaign policy discosim arms: three attempts
+// with 50ms/100ms backoffs.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second}
+}
+
+// delay returns the deterministic backoff preceding the given retry
+// (retry 1 = first re-execution).
+func (p RetryPolicy) delay(retry int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// Outcome describes one completed distinct cell for campaign
+// bookkeeping (manifests): memo-cache joins do not produce outcomes,
+// disk replays and cancellations do.
+type Outcome struct {
+	Key Key
+	// FromDisk marks results replayed from the persistent store.
+	FromDisk bool
+	// Attempts counts executions including retries (0 when nothing ran:
+	// disk replays and cancellations).
+	Attempts int
+	// Err is the terminal error: nil for done cells, wrapping
+	// ErrInterrupted for drained cells, the cancellation cause for
+	// cells canceled after an earlier failure, a *CellError otherwise.
+	Err error
 }
 
 // New returns a runner with the given worker count (<= 0 selects
@@ -90,7 +186,8 @@ func New(workers int, memo bool) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	r := &Runner{workers: workers}
+	r := &Runner{workers: workers, sleep: time.Sleep}
+	r.idle = sync.NewCond(&r.mu)
 	if memo {
 		r.cache = make(map[Key]*cell)
 	}
@@ -103,20 +200,65 @@ func (r *Runner) Workers() int { return r.workers }
 // Memoized reports whether the result cache is enabled.
 func (r *Runner) Memoized() bool { return r.cache != nil }
 
+// SetStore attaches a persistent result store as the second cache tier.
+// Call before the first Submit.
+func (r *Runner) SetStore(s *store.Store) { r.store = s }
+
+// Store returns the attached persistent store (nil when off).
+func (r *Runner) Store() *store.Store { return r.store }
+
+// SetRetry arms per-cell retry. Call before the first Submit.
+func (r *Runner) SetRetry(p RetryPolicy) { r.retry = p }
+
+// SetObserver installs a campaign bookkeeping hook invoked (from
+// worker goroutines, unsynchronized with each other) once per distinct
+// completed cell. Call before the first Submit.
+func (r *Runner) SetObserver(fn func(Outcome)) { r.observer = fn }
+
 // Stats snapshots the activity counters.
 func (r *Runner) Stats() Stats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return Stats{Submitted: r.hits + r.executed, Hits: r.hits, Executed: r.executed, Done: r.done}
+	st := Stats{Submitted: r.submitted, Hits: r.hits, Executed: r.executed,
+		Retries: r.retries, Done: r.done}
+	r.mu.Unlock()
+	if r.store != nil {
+		ss := r.store.Stats()
+		st.DiskHits = ss.Hits
+		st.Quarantined = ss.Quarantined
+	}
+	return st
+}
+
+// Interrupt begins a graceful drain: in-flight cells finish (and their
+// results are persisted when a store is attached), queued cells are
+// canceled with an error wrapping ErrInterrupted, and new submissions
+// are canceled on arrival. Safe to call from a signal handler
+// goroutine; idempotent.
+func (r *Runner) Interrupt() {
+	r.mu.Lock()
+	r.drained = true
+	r.mu.Unlock()
+}
+
+// Quiesce blocks until no cell is queued or executing — after an
+// Interrupt this is the "finish in-flight cells" barrier a graceful
+// shutdown waits on before flushing the campaign manifest.
+func (r *Runner) Quiesce() {
+	r.mu.Lock()
+	for r.active > 0 || len(r.queue) > 0 {
+		r.idle.Wait()
+	}
+	r.mu.Unlock()
 }
 
 // Submit schedules run under key and returns a future for its result.
 // Identical keys are single-flighted: only the first submission
 // simulates, later ones share the same cell (volatile keys always run).
-// After any cell fails, queued cells are canceled with an error that
-// wraps the first failure.
+// After any cell fails terminally, queued cells are canceled with an
+// error that wraps the first failure.
 func (r *Runner) Submit(key Key, run func() (cmp.Results, error)) *Future {
 	r.mu.Lock()
+	r.submitted++
 	if r.cache != nil && !key.Volatile {
 		if c, ok := r.cache[key]; ok {
 			r.hits++
@@ -128,8 +270,7 @@ func (r *Runner) Submit(key Key, run func() (cmp.Results, error)) *Future {
 	if r.cache != nil && !key.Volatile {
 		r.cache[key] = c
 	}
-	r.executed++
-	r.queue = append(r.queue, &job{c: c, run: run})
+	r.queue = append(r.queue, &job{c: c, key: key, run: run})
 	if r.active < r.workers {
 		r.active++
 		go r.drain()
@@ -144,31 +285,118 @@ func (r *Runner) drain() {
 		r.mu.Lock()
 		if len(r.queue) == 0 {
 			r.active--
+			if r.active == 0 {
+				r.idle.Broadcast()
+			}
 			r.mu.Unlock()
 			return
 		}
 		j := r.queue[0]
 		r.queue = r.queue[1:]
-		canceled, firstErr := r.canceled, r.firstErr
+		canceled, firstErr, drained := r.canceled, r.firstErr, r.drained
 		r.mu.Unlock()
-		if canceled {
-			j.c.err = fmt.Errorf("simrun: canceled after earlier failure: %w", firstErr)
-			close(j.c.done)
-			r.mu.Lock()
-			r.done++
-			r.mu.Unlock()
+		switch {
+		case drained:
+			r.finish(j, cmp.Results{}, fmt.Errorf("simrun: cell canceled by drain: %w", ErrInterrupted),
+				Outcome{Key: j.key, Err: ErrInterrupted})
+			continue
+		case canceled:
+			err := fmt.Errorf("simrun: canceled after earlier failure: %w", firstErr)
+			r.finish(j, cmp.Results{}, err, Outcome{Key: j.key, Err: err})
 			continue
 		}
-		j.c.res, j.c.err = runCell(j.run)
-		r.mu.Lock()
-		if j.c.err != nil && !r.canceled {
-			r.canceled, r.firstErr = true, j.c.err
+		// Persistent tier: replay a durably cached result instead of
+		// simulating. Get verifies the entry end to end; corruption
+		// quarantines and falls through to recomputation.
+		if r.store != nil && !j.key.Volatile {
+			if res, ok := r.store.Get(j.key.Canonical()); ok {
+				r.finish(j, res, nil, Outcome{Key: j.key, FromDisk: true})
+				continue
+			}
 		}
-		r.done++
-		r.mu.Unlock()
-		close(j.c.done)
+		res, attempts, err := r.runWithRetry(j)
+		if err == nil && r.store != nil && !j.key.Volatile {
+			// A failed Put is counted by the store and must not fail the
+			// cell: the result is in hand, only its durability is lost.
+			_ = r.store.Put(j.key.Canonical(), res)
+		}
+		r.finish(j, res, err, Outcome{Key: j.key, Attempts: attempts, Err: err})
 	}
 }
+
+// runWithRetry executes one cell, retrying transient failures under
+// the armed policy with deterministic backoff.
+func (r *Runner) runWithRetry(j *job) (cmp.Results, int, error) {
+	max := r.retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	attempt := 0
+	for {
+		attempt++
+		r.mu.Lock()
+		r.executed++
+		r.mu.Unlock()
+		res, err := runCell(j.run)
+		if err == nil {
+			return res, attempt, nil
+		}
+		if attempt >= max || !IsTransient(err) {
+			return cmp.Results{}, attempt, &CellError{Key: j.key, Attempts: attempt, Err: err}
+		}
+		r.mu.Lock()
+		stop := r.drained || r.canceled
+		if !stop {
+			r.retries++
+		}
+		r.mu.Unlock()
+		if stop {
+			// The campaign is draining or canceled: give up without
+			// burning the remaining attempts.
+			return cmp.Results{}, attempt, &CellError{Key: j.key, Attempts: attempt, Err: err}
+		}
+		r.sleep(r.retry.delay(attempt))
+	}
+}
+
+// finish completes one distinct cell: publish the result, drop errored
+// cells from the memo cache (a failure must never be replayed as if it
+// were a result), arm cancellation on terminal failures, and notify
+// the campaign observer.
+func (r *Runner) finish(j *job, res cmp.Results, err error, out Outcome) {
+	j.c.res, j.c.err = res, err
+	r.mu.Lock()
+	if err != nil {
+		if r.cache != nil && r.cache[j.key] == j.c {
+			delete(r.cache, j.key)
+		}
+		if !r.canceled && !errors.Is(err, ErrInterrupted) {
+			r.canceled, r.firstErr = true, err
+		}
+	}
+	r.done++
+	r.mu.Unlock()
+	close(j.c.done)
+	if r.observer != nil {
+		r.observer(out)
+	}
+}
+
+// CellError is a cell's terminal failure after the retry policy is
+// exhausted (Attempts executions). It wraps the last underlying error.
+type CellError struct {
+	Key      Key
+	Attempts int
+	Err      error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("simrun: cell %s failed after %d attempt(s): %v", e.Key, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
 
 // PanicError is a cell panic converted into an ordinary error: one
 // pathological configuration must fail its own future (and cancel the
@@ -185,6 +413,22 @@ type PanicError struct {
 // Error implements error.
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("simrun: cell panicked: %v", e.Value)
+}
+
+// IsTransient reports whether err is worth retrying: cell panics
+// (*PanicError) and any error exposing Transient() bool — the contract
+// injected I/O failures use — qualify. Watchdog stalls and
+// configuration errors are deterministic and do not.
+func IsTransient(err error) bool {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	return false
 }
 
 // runCell invokes one cell's simulation closure, converting a panic into

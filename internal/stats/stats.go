@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -98,6 +99,39 @@ func (m *Mean) Merge(o *Mean) {
 
 // Reset returns the accumulator to its zero state.
 func (m *Mean) Reset() { *m = Mean{} }
+
+// meanWireSize is the fixed MarshalBinary frame: five 8-byte words.
+const meanWireSize = 5 * 8
+
+// MarshalBinary encodes the accumulator as five fixed little-endian
+// 64-bit words (n, then the IEEE-754 bits of mean/m2/min/max). The
+// encoding is exact — UnmarshalBinary reconstructs a bit-identical
+// accumulator — so results persisted by internal/store replay with
+// byte-identical derived artifacts. It also satisfies
+// encoding.BinaryMarshaler, which encoding/gob consults for types with
+// unexported fields.
+func (m Mean) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, meanWireSize)
+	binary.LittleEndian.PutUint64(buf[0:], m.n)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(m.mean))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(m.m2))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(m.min))
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(m.max))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a MarshalBinary frame.
+func (m *Mean) UnmarshalBinary(data []byte) error {
+	if len(data) != meanWireSize {
+		return fmt.Errorf("stats: Mean frame is %d bytes, want %d", len(data), meanWireSize)
+	}
+	m.n = binary.LittleEndian.Uint64(data[0:])
+	m.mean = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	m.m2 = math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+	m.min = math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
+	m.max = math.Float64frombits(binary.LittleEndian.Uint64(data[32:]))
+	return nil
+}
 
 // GeoMean returns the geometric mean of xs. Non-positive entries are
 // skipped; an empty (or all-skipped) input yields 0.

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the store's durability protocol
+// needs. It exists so the fault-injection tests can fail any single
+// operation (create, write, sync, close, rename) and prove the store
+// never leaves a readable-but-wrong entry behind; production code uses
+// OSFS.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making a prior rename durable.
+	SyncDir(dir string) error
+}
+
+// File is a writable handle with explicit durability.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Close releases the handle (data durability comes from Sync).
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS. Directory fsync is advisory on platforms that
+// do not support it; the error from Sync is still surfaced so the
+// injectable FS can exercise the failure path.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// InjectFS wraps a base FS and fails selected operations — the harness
+// behind the store's rename/fsync/torn-write error-path tests. Hook is
+// consulted before every operation with the operation name ("mkdir",
+// "create", "write", "sync", "close", "readfile", "rename", "remove",
+// "syncdir") and the file path; a non-nil return aborts that operation.
+// ShortWrite > 0 truncates every write to at most that many bytes while
+// still reporting full success, simulating a torn write that a later
+// crash makes visible.
+type InjectFS struct {
+	Base FS
+	Hook func(op, name string) error
+	// ShortWrite caps the bytes any single file accepts (0 = off).
+	ShortWrite int
+}
+
+func (f *InjectFS) hook(op, name string) error {
+	if f.Hook == nil {
+		return nil
+	}
+	return f.Hook(op, name)
+}
+
+// MkdirAll implements FS.
+func (f *InjectFS) MkdirAll(dir string) error {
+	if err := f.hook("mkdir", dir); err != nil {
+		return err
+	}
+	return f.Base.MkdirAll(dir)
+}
+
+// Create implements FS.
+func (f *InjectFS) Create(name string) (File, error) {
+	if err := f.hook("create", name); err != nil {
+		return nil, err
+	}
+	base, err := f.Base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, name: name, base: base}, nil
+}
+
+// ReadFile implements FS.
+func (f *InjectFS) ReadFile(name string) ([]byte, error) {
+	if err := f.hook("readfile", name); err != nil {
+		return nil, err
+	}
+	return f.Base.ReadFile(name)
+}
+
+// Rename implements FS.
+func (f *InjectFS) Rename(oldname, newname string) error {
+	if err := f.hook("rename", oldname); err != nil {
+		return err
+	}
+	return f.Base.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (f *InjectFS) Remove(name string) error {
+	if err := f.hook("remove", name); err != nil {
+		return err
+	}
+	return f.Base.Remove(name)
+}
+
+// SyncDir implements FS.
+func (f *InjectFS) SyncDir(dir string) error {
+	if err := f.hook("syncdir", dir); err != nil {
+		return err
+	}
+	return f.Base.SyncDir(dir)
+}
+
+// injectFile applies the wrapper's hook and short-write cap to one file.
+type injectFile struct {
+	fs      *InjectFS
+	name    string
+	base    File
+	written int
+}
+
+func (w *injectFile) Write(p []byte) (int, error) {
+	if err := w.fs.hook("write", w.name); err != nil {
+		return 0, err
+	}
+	n := len(p)
+	if cap := w.fs.ShortWrite; cap > 0 {
+		room := cap - w.written
+		if room < 0 {
+			room = 0
+		}
+		if room < n {
+			// Persist only the prefix but report success: the damage
+			// surfaces on the next read, exactly like a torn write.
+			if _, err := w.base.Write(p[:room]); err != nil {
+				return 0, err
+			}
+			w.written += room
+			return len(p), nil
+		}
+	}
+	m, err := w.base.Write(p)
+	w.written += m
+	if err != nil {
+		return m, err
+	}
+	if m != n {
+		return m, fmt.Errorf("store: short write to %s: %d of %d bytes", filepath.Base(w.name), m, n)
+	}
+	return m, nil
+}
+
+func (w *injectFile) Sync() error {
+	if err := w.fs.hook("sync", w.name); err != nil {
+		return err
+	}
+	return w.base.Sync()
+}
+
+func (w *injectFile) Close() error {
+	if err := w.fs.hook("close", w.name); err != nil {
+		_ = w.base.Close() // release the handle even when injecting failure
+		return err
+	}
+	return w.base.Close()
+}

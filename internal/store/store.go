@@ -1,0 +1,309 @@
+// Package store is the persistent, content-addressed result cache
+// behind resumable experiment campaigns (DESIGN.md §13).
+//
+// Each entry holds one serialized cmp.Results keyed by the canonical
+// simrun configuration fingerprint plus a code-version stamp, so a
+// cache directory can only ever replay results the exact same code
+// would recompute. Durability follows the classic protocol: write to a
+// unique temp file, fsync, atomically rename into place, fsync the
+// directory. Every entry carries a SHA-256 checksum over its payload;
+// a read that fails verification (torn write, truncation, bit flip)
+// quarantines the file aside and reports a miss, so corruption is
+// always repaired by recomputation and can never propagate into an
+// artifact.
+//
+// The store is deliberately ignorant of scheduling: internal/simrun
+// wires it in as the second cache tier behind its in-process
+// single-flight map.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+
+	"github.com/disco-sim/disco/internal/cmp"
+)
+
+// magic opens every entry file; the trailing digit is the format
+// version, bumped on any layout change.
+var magic = [4]byte{'D', 'S', 'T', '1'}
+
+// headerSize is magic + uint32 payload length + SHA-256 checksum.
+const headerSize = 4 + 4 + sha256.Size
+
+// entrySuffix names committed entries; quarantineSuffix marks entries
+// renamed aside after failing verification.
+const (
+	entrySuffix      = ".cell"
+	quarantineSuffix = ".quarantined"
+)
+
+// entry is the gob payload of one cache file. Key and Version repeat
+// the identity the file name was derived from, so a read verifies the
+// full fingerprint rather than trusting the hash alone.
+type entry struct {
+	Key     string
+	Version string
+	Results cmp.Results
+}
+
+// Stats counts the store's activity. All counters are cumulative since
+// Open.
+type Stats struct {
+	// Hits / Misses count Get outcomes (a quarantined or version-alien
+	// entry is a miss).
+	Hits, Misses uint64
+	// Puts counts entries durably committed.
+	Puts uint64
+	// Quarantined counts entries renamed aside after failing checksum,
+	// framing or fingerprint verification.
+	Quarantined uint64
+	// PutErrors / GetErrors count I/O failures (a failed Put never
+	// leaves a visible entry; a failed Get reports a miss).
+	PutErrors, GetErrors uint64
+}
+
+// Options configure Open.
+type Options struct {
+	// Version is the code-version stamp mixed into every entry's
+	// identity; empty selects VersionStamp().
+	Version string
+	// FS overrides the filesystem (nil = OSFS); tests inject faults
+	// through it.
+	FS FS
+}
+
+// Store is a persistent result cache rooted at one directory. It is
+// safe for concurrent use.
+type Store struct {
+	dir     string
+	version string
+	fs      FS
+	pid     int
+
+	mu    sync.Mutex
+	stats Stats
+	seq   uint64 // uniquifies temp and quarantine names
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	version := opts.Version
+	if version == "" {
+		version = VersionStamp()
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	return &Store{dir: dir, version: version, fs: fs, pid: os.Getpid()}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Version returns the effective code-version stamp.
+func (s *Store) Version() string { return s.version }
+
+// Stats snapshots the activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// EntryName returns the file basename an entry for key lives under:
+// the hex SHA-256 of the version stamp and the canonical key. The
+// content address commits to both, so entries written by other code
+// versions can never alias.
+func (s *Store) EntryName(key string) string {
+	h := sha256.New()
+	_, _ = h.Write([]byte(s.version)) // hash.Hash.Write never errors
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return hex.EncodeToString(h.Sum(nil)[:16]) + entrySuffix
+}
+
+// Get looks key up, verifying the entry end to end. Any verification
+// failure quarantines the file and reports a miss; I/O errors also
+// report a miss (the campaign recomputes instead of failing).
+func (s *Store) Get(key string) (cmp.Results, bool) {
+	name := filepath.Join(s.dir, s.EntryName(key))
+	data, err := s.fs.ReadFile(name)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Misses++
+		if !os.IsNotExist(err) {
+			s.stats.GetErrors++
+		}
+		s.mu.Unlock()
+		return cmp.Results{}, false
+	}
+	res, err := decodeEntry(data, key, s.version)
+	if err != nil {
+		s.quarantine(name)
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return cmp.Results{}, false
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.mu.Unlock()
+	return res, true
+}
+
+// Put durably commits res under key: unique temp file → write → fsync
+// → close → rename → directory fsync. On any failure the temp file is
+// removed and no entry becomes visible, so readers only ever observe
+// absent or fully committed entries.
+func (s *Store) Put(key string, res cmp.Results) error {
+	data, err := encodeEntry(key, s.version, res)
+	if err != nil {
+		return s.putErr(fmt.Errorf("store: encode %s: %w", key, err))
+	}
+	final := filepath.Join(s.dir, s.EntryName(key))
+	s.mu.Lock()
+	s.seq++
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", final, s.pid, s.seq)
+	s.mu.Unlock()
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return s.putErr(fmt.Errorf("store: create temp: %w", err))
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = s.fs.Remove(tmp)
+		return s.putErr(fmt.Errorf("store: write temp: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = s.fs.Remove(tmp)
+		return s.putErr(fmt.Errorf("store: fsync temp: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(tmp)
+		return s.putErr(fmt.Errorf("store: close temp: %w", err))
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		_ = s.fs.Remove(tmp)
+		return s.putErr(fmt.Errorf("store: commit rename: %w", err))
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		// The entry is visible but its directory record may not survive
+		// a crash; surface the error so the campaign can report it.
+		return s.putErr(fmt.Errorf("store: fsync dir: %w", err))
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.mu.Unlock()
+	return nil
+}
+
+// putErr counts one failed Put.
+func (s *Store) putErr(err error) error {
+	s.mu.Lock()
+	s.stats.PutErrors++
+	s.mu.Unlock()
+	return err
+}
+
+// quarantine renames a verification-failing entry aside (preserving it
+// for post-mortems) and counts it. A rename failure falls back to
+// removal; if even that fails the entry stays, but the next Put
+// atomically replaces it, so the campaign still converges.
+func (s *Store) quarantine(name string) {
+	s.mu.Lock()
+	s.stats.Quarantined++
+	s.seq++
+	aside := fmt.Sprintf("%s%s.%d.%d", name, quarantineSuffix, s.pid, s.seq)
+	s.mu.Unlock()
+	if err := s.fs.Rename(name, aside); err != nil {
+		_ = s.fs.Remove(name)
+	}
+}
+
+// encodeEntry frames one entry: magic, payload length, SHA-256 over
+// the payload, then the gob payload itself.
+func encodeEntry(key, version string, res cmp.Results) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(entry{Key: key, Version: version, Results: res}); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, headerSize+payload.Len())
+	copy(buf, magic[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(payload.Len()))
+	sum := sha256.Sum256(payload.Bytes())
+	copy(buf[8:], sum[:])
+	copy(buf[headerSize:], payload.Bytes())
+	return buf, nil
+}
+
+// decodeEntry verifies framing, checksum and fingerprint, returning
+// the stored results only when every check passes.
+func decodeEntry(data []byte, key, version string) (cmp.Results, error) {
+	if len(data) < headerSize {
+		return cmp.Results{}, fmt.Errorf("store: entry truncated to %d bytes", len(data))
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return cmp.Results{}, fmt.Errorf("store: bad magic %q", data[:4])
+	}
+	plen := binary.LittleEndian.Uint32(data[4:])
+	payload := data[headerSize:]
+	if uint32(len(payload)) != plen {
+		return cmp.Results{}, fmt.Errorf("store: payload is %d bytes, header says %d", len(payload), plen)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[8:headerSize]) {
+		return cmp.Results{}, fmt.Errorf("store: checksum mismatch")
+	}
+	var e entry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return cmp.Results{}, fmt.Errorf("store: decode: %w", err)
+	}
+	if e.Key != key || e.Version != version {
+		return cmp.Results{}, fmt.Errorf("store: fingerprint mismatch (hash alias)")
+	}
+	return e.Results, nil
+}
+
+// VersionStamp derives the default code-version stamp from the build
+// info: VCS revision plus dirty flag when the binary was stamped,
+// otherwise the main module version. Unstamped development builds all
+// share the "dev" stamp — delete the cache directory (or pass an
+// explicit Options.Version) when changing code that alters results.
+func VersionStamp() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	rev, dirty := "", ""
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		return rev + dirty
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "dev"
+}
