@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint lint-baseline vet fmt test race test-race-parallel cover fuzz-smoke chaos-smoke resume-smoke scaling-curve bench-snapshot bench-compare ci
+.PHONY: all build lint lint-baseline vet fmt test race test-race-parallel cover fuzz-smoke chaos-smoke resume-smoke soak-smoke scaling-curve bench-snapshot bench-compare ci
 
 all: build lint test
 
@@ -41,25 +41,31 @@ test-race-parallel:
 	GOMAXPROCS=1 $(GO) test -race ./internal/noc ./internal/disco ./internal/cmp
 	GOMAXPROCS=4 $(GO) test -race ./internal/noc ./internal/disco ./internal/cmp
 
-# Per-package statement coverage. internal/noc — the cycle engine the
-# whole simulator rests on — enforces a floor so the golden/property
-# layer cannot silently rot as the engine grows.
-NOC_COVER_FLOOR = 85
+# Per-package statement coverage. The load-bearing packages — the cycle
+# engine the whole simulator rests on and the streaming service's wire
+# layer — enforce a floor so their test layers cannot silently rot as
+# the code grows.
+COVER_FLOOR = 85
+COVER_FLOOR_PKGS = internal/noc internal/stream
 cover:
 	@out="$$($(GO) test -cover ./... | grep -v 'no test files')"; \
 	echo "$$out"; \
-	pct="$$(echo "$$out" | awk '$$2 ~ /internal\/noc$$/ { for (i = 1; i <= NF; i++) if ($$i ~ /%/) { gsub(/%.*/, "", $$i); print $$i } }')"; \
-	if [ -z "$$pct" ]; then echo "cover: no coverage line for internal/noc" >&2; exit 1; fi; \
-	awk -v p="$$pct" -v floor="$(NOC_COVER_FLOOR)" 'BEGIN { \
-		if (p + 0 < floor + 0) { printf "internal/noc coverage %s%% is below the %s%% floor\n", p, floor; exit 1 } \
-		printf "internal/noc coverage %s%% (floor %s%%)\n", p, floor }'
+	for pkg in $(COVER_FLOOR_PKGS); do \
+		pct="$$(echo "$$out" | awk -v pkg="$$pkg" '$$2 ~ pkg"$$" { for (i = 1; i <= NF; i++) if ($$i ~ /%/) { gsub(/%.*/, "", $$i); print $$i } }')"; \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for $$pkg" >&2; exit 1; fi; \
+		awk -v p="$$pct" -v floor="$(COVER_FLOOR)" -v pkg="$$pkg" 'BEGIN { \
+			if (p + 0 < floor + 0) { printf "%s coverage %s%% is below the %s%% floor\n", pkg, p, floor; exit 1 } \
+			printf "%s coverage %s%% (floor %s%%)\n", pkg, p, floor }' || exit 1; \
+	done
 
-# Short native-fuzzing pass over the compressor decoders plus the
-# kernel/reference differential target (one -fuzz invocation each:
-# go test requires the pattern to match exactly one target).
+# Short native-fuzzing pass over the compressor decoders, the
+# kernel/reference differential target, and the stream-layer round-trip
+# (one -fuzz invocation each: go test requires the pattern to match
+# exactly one target).
 fuzz-smoke:
 	$(GO) test -run TestNone -fuzz='^FuzzDecompress$$' -fuzztime=10s ./internal/compress
 	$(GO) test -run TestNone -fuzz='^FuzzKernelEquivalence$$' -fuzztime=10s ./internal/compress
+	$(GO) test -run TestNone -fuzz='^FuzzStreamRoundTrip$$' -fuzztime=10s ./internal/stream
 
 # Fault-injection smoke: each fault class alone and all of them combined,
 # at two seeds each, on a short full-system DISCO run. Every cell must
@@ -100,6 +106,40 @@ resume-smoke:
 	"$$tmp/discosim" $$args -json "$$tmp/res.json" -cache-dir "$$tmp/cache" -resume >/dev/null; \
 	cmp "$$tmp/ref.json" "$$tmp/res.json"; \
 	echo "resume-smoke: resumed artifact is byte-identical to the uninterrupted run"
+
+# Streaming-service soak (the ISSUE's acceptance gate): boot a live
+# discod, drive 1000 concurrent compressed streams through it with
+# discoload (every echo verified byte-exact), assert the server's RSS
+# stays bounded, then SIGTERM it and require a clean graceful drain
+# (exit 0). The throughput/correctness report lands in bench/ for CI to
+# upload as an artifact.
+SOAK_STREAMS  = 1000
+SOAK_BLOCKS   = 20
+SOAK_RSS_KB   = 262144
+soak-smoke:
+	@set -e; \
+	mkdir -p bench; \
+	tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/discod" ./cmd/discod; \
+	$(GO) build -o "$$tmp/discoload" ./cmd/discoload; \
+	echo "== soak-smoke: starting discod =="; \
+	"$$tmp/discod" -listen 127.0.0.1:0 -http 127.0.0.1:0 -port-file "$$tmp/port" & pid=$$!; \
+	for i in $$(seq 1 100); do [ -f "$$tmp/port" ] && break; sleep 0.1; done; \
+	[ -f "$$tmp/port" ] || { echo "discod never wrote its port file"; kill $$pid 2>/dev/null; exit 1; }; \
+	addr="$$(head -n1 "$$tmp/port")"; \
+	echo "== soak-smoke: $(SOAK_STREAMS) concurrent streams x $(SOAK_BLOCKS) blocks against $$addr =="; \
+	"$$tmp/discoload" -addr "$$addr" -streams $(SOAK_STREAMS) -blocks $(SOAK_BLOCKS) \
+		-workers $(SOAK_STREAMS) -report bench/soak-report.json || { kill $$pid 2>/dev/null; exit 1; }; \
+	if [ -r /proc/$$pid/status ]; then \
+		rss="$$(awk '/^VmRSS/ {print $$2}' /proc/$$pid/status)"; \
+		echo "discod RSS after soak: $$rss kB (bound $(SOAK_RSS_KB) kB)"; \
+		[ "$$rss" -lt $(SOAK_RSS_KB) ] || { echo "discod RSS $$rss kB exceeds the bound"; kill $$pid 2>/dev/null; exit 1; }; \
+	else echo "no /proc on this host: skipping the RSS bound"; fi; \
+	echo "== soak-smoke: graceful drain (SIGTERM) =="; \
+	kill -TERM $$pid; rc=0; wait $$pid || rc=$$?; \
+	[ "$$rc" = 0 ] || { echo "discod exited $$rc on SIGTERM, want 0 (clean drain)"; exit 1; }; \
+	cat bench/soak-report.json; \
+	echo "soak-smoke: $(SOAK_STREAMS) streams byte-exact, RSS bounded, drain clean"
 
 # Worker-count scaling curve on a short full-system run: sweep
 # -sim-workers over the two-phase engine and write cycles/sec plus the
@@ -144,4 +184,4 @@ bench-compare:
 	$(GO) run ./cmd/benchcmp -baseline bench/baseline_pr6.txt -new bench/new.txt \
 		-require 'BenchmarkCompressSC2=50,BenchmarkNoCStepMesh8Serial=30'
 
-ci: build lint race test-race-parallel cover fuzz-smoke chaos-smoke resume-smoke
+ci: build lint race test-race-parallel cover fuzz-smoke chaos-smoke resume-smoke soak-smoke

@@ -1,0 +1,322 @@
+// Command discoload is the load generator and correctness harness for
+// discod (ROADMAP item 1's "millions of users" axis): it opens N
+// concurrent compressed streams against a live server, pushes M blocks
+// of deterministic, value-local payload through each, and verifies the
+// echoed bytes match what was sent — bit-exactly, per stream, for
+// every negotiated codec.
+//
+// The stream jobs are sharded over a bounded worker pool following the
+// internal/simrun conventions: a fixed set of goroutines, an atomic
+// cursor handing out stream indices in chunks, and the main goroutine
+// participating as one of the workers.
+//
+// Exit codes:
+//
+//	0 — every stream round-tripped byte-exactly
+//	1 — corruption or stream errors (counted in the report)
+//	2 — configuration error
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/disco-sim/disco/internal/compress"
+	"github.com/disco-sim/disco/internal/obs"
+	"github.com/disco-sim/disco/internal/stream"
+)
+
+const (
+	ExitOK     = 0
+	ExitFailed = 1
+	ExitConfig = 2
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+// report is the machine-readable run summary (-report), uploaded as a
+// CI artifact by the stream job.
+type report struct {
+	Addr        string   `json:"addr"`
+	Streams     int      `json:"streams"`
+	BlocksEach  int      `json:"blocks_each"`
+	Codecs      []string `json:"codecs"`
+	Workers     int      `json:"workers"`
+	Seed        uint64   `json:"seed"`
+	OK          int64    `json:"ok"`
+	Corrupt     int64    `json:"corrupt"`
+	Errors      int64    `json:"errors"`
+	BytesSent   int64    `json:"bytes_sent"`
+	ElapsedSecs float64  `json:"elapsed_secs"`
+	MBPerSec    float64  `json:"mb_per_sec"`
+	BlocksPerS  float64  `json:"blocks_per_sec"`
+}
+
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("discoload", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7060", "discod stream address")
+		streams    = fs.Int("streams", 100, "concurrent streams to open")
+		blocks     = fs.Int("blocks", 50, "64-byte blocks to push per stream")
+		codecsFlag = fs.String("codec", "all", "codec to negotiate, or \"all\" to round-robin the registry")
+		workers    = fs.Int("workers", 0, "worker goroutines (0 = min(streams, 4*GOMAXPROCS))")
+		seed       = fs.Uint64("seed", 1, "payload PRNG seed (per-stream streams derive from it)")
+		reportPath = fs.String("report", "", "write a JSON throughput/correctness report here")
+		timeout    = fs.Duration("timeout", 2*time.Minute, "per-stream deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return ExitConfig
+	}
+	rep := obs.NewReporter(os.Stderr, "discoload")
+	if *streams < 1 || *blocks < 1 {
+		rep.Infof("config: -streams and -blocks must be positive")
+		return ExitConfig
+	}
+	var codecs []string
+	if *codecsFlag == "all" {
+		codecs = compress.Names()
+	} else {
+		for _, name := range strings.Split(*codecsFlag, ",") {
+			if _, err := compress.New(name); err != nil {
+				rep.Infof("config: %v", err)
+				return ExitConfig
+			}
+			codecs = append(codecs, name)
+		}
+	}
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = 4 * runtime.GOMAXPROCS(0)
+	}
+	if nWorkers > *streams {
+		nWorkers = *streams
+	}
+
+	var okCount, corrupt, errCount, bytesSent atomic.Int64
+	start := time.Now()
+
+	// simrun worker conventions: atomic cursor, chunked claims, the
+	// caller participates as the last worker. The claim size shrinks as
+	// the worker count approaches the stream count so that -workers N
+	// -streams N really runs N streams concurrently (the soak gate).
+	chunk := int64((*streams + nWorkers - 1) / nWorkers)
+	if chunk > 8 {
+		chunk = 8
+	}
+	var cursor atomic.Int64
+	work := func() {
+		for {
+			end := cursor.Add(chunk)
+			begin := end - chunk
+			if begin >= int64(*streams) {
+				return
+			}
+			if end > int64(*streams) {
+				end = int64(*streams)
+			}
+			for i := begin; i < end; i++ {
+				codec := codecs[int(i)%len(codecs)]
+				sent, err := runStream(*addr, codec, int(i), *blocks, *seed, *timeout)
+				bytesSent.Add(sent)
+				switch {
+				case err == nil:
+					okCount.Add(1)
+				case strings.Contains(err.Error(), "corrupt echo"):
+					corrupt.Add(1)
+					rep.Infof("stream %d (%s): %v", i, codec, err)
+				default:
+					errCount.Add(1)
+					rep.Infof("stream %d (%s): %v", i, codec, err)
+				}
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers-1; w++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); work() }()
+	}
+	work()
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	r := report{
+		Addr: *addr, Streams: *streams, BlocksEach: *blocks,
+		Codecs: codecs, Workers: nWorkers, Seed: *seed,
+		OK: okCount.Load(), Corrupt: corrupt.Load(), Errors: errCount.Load(),
+		BytesSent:   bytesSent.Load(),
+		ElapsedSecs: elapsed.Seconds(),
+	}
+	if r.ElapsedSecs > 0 {
+		r.MBPerSec = float64(r.BytesSent) / (1 << 20) / r.ElapsedSecs
+		r.BlocksPerS = float64(r.OK) * float64(*blocks) / r.ElapsedSecs
+	}
+	rep.Infof("%d/%d streams ok (%d corrupt, %d errors), %.1f MiB sent in %.2fs (%.1f MiB/s)",
+		r.OK, *streams, r.Corrupt, r.Errors, float64(r.BytesSent)/(1<<20), r.ElapsedSecs, r.MBPerSec)
+	if *reportPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*reportPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			rep.Infof("report: %v", err)
+			return ExitFailed
+		}
+	}
+	if r.Corrupt > 0 || r.Errors > 0 || r.OK != int64(*streams) {
+		return ExitFailed
+	}
+	return ExitOK
+}
+
+// runStream opens one compressed stream, writes blocks of deterministic
+// payload while a reader goroutine verifies the echo byte-for-byte,
+// half-closes, and drains. Returns bytes sent and the first error.
+func runStream(addr, codec string, idx, blocks int, seed uint64, timeout time.Duration) (int64, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, fmt.Errorf("dial: %w", err)
+	}
+	defer func() { _ = nc.Close() }()
+	if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+	c, err := stream.Client(nc, codec)
+	if err != nil {
+		return 0, fmt.Errorf("handshake: %w", err)
+	}
+	// Client clears the handshake deadline; re-arm the whole-stream one.
+	if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+
+	// The reader goroutine verifies the echo concurrently with the
+	// writes — the echo loop is synchronous on the server, so a client
+	// that wrote everything before reading anything would deadlock on
+	// full TCP windows (by design: that IS the backpressure).
+	var got []byte
+	readErr := make(chan error, 1)
+	total := blocks * compress.BlockSize
+	go func() {
+		buf := make([]byte, 0, total)
+		tmp := make([]byte, 4096)
+		for len(buf) < total {
+			n, err := c.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				got = buf
+				readErr <- fmt.Errorf("read after %d bytes: %w", len(buf), err)
+				return
+			}
+		}
+		// Expect EOF next (server mirrors our half-close).
+		if _, err := c.Read(tmp); err == nil {
+			got = buf
+			readErr <- fmt.Errorf("peer sent more than the %d expected bytes", total)
+			return
+		}
+		got = buf
+		readErr <- nil
+	}()
+
+	payload := streamPayload(seed, uint64(idx), blocks)
+	var sent int64
+	// Mixed write granularities exercise the partial-block path: the
+	// frame layer re-blocks at 64 bytes regardless.
+	for off := 0; off < len(payload); {
+		n := 64
+		switch (off / 64) % 3 {
+		case 1:
+			n = 160
+		case 2:
+			n = 24
+		}
+		if off+n > len(payload) {
+			n = len(payload) - off
+		}
+		m, err := c.Write(payload[off : off+n])
+		sent += int64(m)
+		if err != nil {
+			<-readErr // don't leak the reader
+			return sent, fmt.Errorf("write: %w", err)
+		}
+		off += n
+	}
+	if err := c.CloseWrite(); err != nil {
+		<-readErr
+		return sent, fmt.Errorf("close-write: %w", err)
+	}
+	if err := <-readErr; err != nil {
+		return sent, err
+	}
+	// The frame layer preserves byte counts exactly (padding never
+	// reaches the application), so the echo must equal the payload.
+	if !bytes.Equal(got, payload) {
+		return sent, fmt.Errorf("corrupt echo: got %d bytes, want %d (first diff at %d)",
+			len(got), len(payload), firstDiff(got, payload))
+	}
+	return sent, nil
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// streamPayload builds stream idx's deterministic payload: value-local
+// 64-bit counters (the delta-residual sweet spot), repeated words,
+// zero runs and pseudorandom spans, mixed per block so every codec
+// exercises both its compressible and its stored paths.
+func streamPayload(seed, idx uint64, blocks int) []byte {
+	out := make([]byte, blocks*compress.BlockSize)
+	s := seed ^ (idx+1)*0x9E3779B97F4A7C15
+	next := func() uint64 {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	counter := next()
+	for b := 0; b < blocks; b++ {
+		blk := out[b*compress.BlockSize : (b+1)*compress.BlockSize]
+		switch b % 4 {
+		case 0: // drifting counters
+			for i := 0; i < len(blk); i += 8 {
+				binary.LittleEndian.PutUint64(blk[i:], counter+uint64(i))
+			}
+			counter += uint64(b%7) + 1
+		case 1: // repeated word
+			w := uint32(next())
+			for i := 0; i < len(blk); i += 4 {
+				binary.LittleEndian.PutUint32(blk[i:], w)
+			}
+		case 2: // zero run (leave zeroed)
+		case 3: // pseudorandom
+			for i := 0; i < len(blk); i += 8 {
+				binary.LittleEndian.PutUint64(blk[i:], next())
+			}
+		}
+	}
+	return out
+}

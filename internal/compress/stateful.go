@@ -1,0 +1,220 @@
+package compress
+
+// Stateful adapts a block Algorithm into a streaming codec with
+// per-stream persistent state — the building block of internal/stream's
+// wire protocol. The paper compresses each 64-byte block separately
+// (Section 3.2), which is exactly what makes incremental state cheap:
+// a stream position is fully described by (codec instance, previous
+// plaintext block), so an encoder/decoder pair stays in sync as long as
+// both fold the same plaintext sequence through the same rules.
+//
+// Per block the encoder considers three encodings and keeps the
+// smallest:
+//
+//	ModeStored   — the raw 64 bytes (the fallback, always available)
+//	ModeDirect   — the codec's encoding of the block itself
+//	ModeResidual — the codec's encoding of block XOR previousBlock
+//
+// The residual path is the "persistent delta base": value-similar
+// consecutive blocks (counters, pointers into the same heap region,
+// tensor rows) XOR to near-zero residuals that the delta-family codecs
+// collapse to a few bits. The base is the previous PLAINTEXT block, so
+// the decoder reconstructs it for free from its own output; no side
+// channel carries state.
+//
+// Trainable codecs (SC², FVC) are mirrored the same way: both sides
+// Observe every plaintext block and Retrain at the same fixed block
+// counts, so the value tables on the two ends of a stream are always
+// identical when a block is encoded and when it is decoded.
+type Stateful struct {
+	alg   Algorithm
+	pc    ProbeCompressor // non-nil when alg offers the probe fast path
+	tr    Trainable       // non-nil when alg adapts online
+	base  [BlockSize]byte // previous plaintext block (the delta base)
+	resid [BlockSize]byte // XOR-residual scratch
+	seen  uint64          // plaintext blocks folded through this side
+	probe BlockProbe      // probe scratch (direct candidate)
+	rprob BlockProbe      // probe scratch (residual candidate)
+}
+
+// Trainable is the online-adaptation surface of SC² and FVC: fold a
+// block into the statistics, rebuild the table. Stateful drives it at
+// deterministic block counts on both stream ends.
+type Trainable interface {
+	Observe(block []byte)
+	Retrain()
+}
+
+// BlockMode selects how one streamed block was encoded.
+type BlockMode uint8
+
+const (
+	// ModeStored carries the raw 64-byte block.
+	ModeStored BlockMode = iota
+	// ModeDirect carries the codec's encoding of the block itself.
+	ModeDirect
+	// ModeResidual carries the codec's encoding of block XOR base.
+	ModeResidual
+)
+
+// retrainEvery is the fixed cadence (in plaintext blocks) at which a
+// Trainable codec rebuilds its table. Both stream directions count the
+// same plaintext sequence, so the rebuilds happen at the same points.
+const retrainEvery = 256
+
+// StatefulBlock is one encoded streamed block: the mode tag plus the
+// codec payload. SizeBits is the hardware-style encoded size
+// (ModeStored: exactly 8*BlockSize); the wire layer transmits it so the
+// decoder can rebuild the exact Compressed the codec produced.
+type StatefulBlock struct {
+	Mode     BlockMode
+	SizeBits int
+	Payload  []byte
+}
+
+// NewStateful wraps alg with per-stream persistent state. Each stream
+// direction needs its own Stateful (and its own alg instance for
+// trainable codecs — the table is part of the stream state).
+func NewStateful(alg Algorithm) *Stateful {
+	s := &Stateful{alg: alg}
+	s.pc, _ = alg.(ProbeCompressor)
+	s.tr, _ = alg.(Trainable)
+	return s
+}
+
+// Alg returns the wrapped block algorithm.
+func (s *Stateful) Alg() Algorithm { return s.alg }
+
+// Blocks reports how many plaintext blocks this side has folded in.
+func (s *Stateful) Blocks() uint64 { return s.seen }
+
+// Reset forgets the delta base and the block count, returning the
+// stream state to its initial position (the codec's trained table, if
+// any, is NOT reset — resetting tables would need a mirrored rule the
+// wire protocol does not define).
+func (s *Stateful) Reset() {
+	s.base = [BlockSize]byte{}
+	s.seen = 0
+}
+
+// advance folds one plaintext block into the shared stream state; the
+// exact same call runs on the encode and the decode side.
+func (s *Stateful) advance(block []byte) {
+	copy(s.base[:], block)
+	s.seen++
+	if s.tr != nil {
+		s.tr.Observe(block)
+		if s.seen%retrainEvery == 0 {
+			s.tr.Retrain()
+		}
+	}
+}
+
+// Encode compresses one BlockSize-byte block against the persistent
+// stream state and advances it. It panics if len(block) != BlockSize
+// (caller bug, mirroring Algorithm.Compress).
+func (s *Stateful) Encode(block []byte) StatefulBlock {
+	checkBlock(block)
+	hasBase := s.seen > 0
+	if hasBase {
+		for i := range s.resid {
+			s.resid[i] = block[i] ^ s.base[i]
+		}
+	}
+
+	mode := ModeStored
+	var best Compressed
+	bestBits := 8 * BlockSize
+	if s.pc != nil {
+		// Probe fast path: exact candidate sizes without encoding, then
+		// one CompressFromProbe for the winner.
+		ProbeInto(&s.probe, block)
+		dBits, dOK := s.pc.ProbeSizeBits(&s.probe)
+		rBits, rOK := 0, false
+		if hasBase {
+			ProbeInto(&s.rprob, s.resid[:])
+			rBits, rOK = s.pc.ProbeSizeBits(&s.rprob)
+		}
+		// Strictly-smaller wins; ties prefer direct (no base coupling).
+		if dOK && dBits < bestBits {
+			mode, bestBits = ModeDirect, dBits
+		}
+		if rOK && rBits < bestBits {
+			mode, bestBits = ModeResidual, rBits
+		}
+		switch mode {
+		case ModeDirect:
+			best = s.pc.CompressFromProbe(block, &s.probe)
+		case ModeResidual:
+			best = s.pc.CompressFromProbe(s.resid[:], &s.rprob)
+		}
+	} else {
+		if c := s.alg.Compress(block); !c.Stored && c.SizeBits < bestBits {
+			mode, bestBits, best = ModeDirect, c.SizeBits, c
+		}
+		if hasBase {
+			if c := s.alg.Compress(s.resid[:]); !c.Stored && c.SizeBits < bestBits {
+				mode, bestBits, best = ModeResidual, c.SizeBits, c
+			}
+		}
+	}
+
+	out := StatefulBlock{Mode: mode, SizeBits: bestBits}
+	if mode == ModeStored {
+		out.Payload = make([]byte, BlockSize)
+		copy(out.Payload, block)
+	} else {
+		out.Payload = best.Payload
+	}
+	s.advance(block)
+	return out
+}
+
+// Decode reverses Encode and advances the stream state. A
+// ModeResidual block arriving before any base exists, or a payload the
+// codec rejects, returns an error wrapping ErrCorrupt; the stream state
+// is NOT advanced on error (the connection is already broken — the
+// caller must tear it down, not resynchronize).
+func (s *Stateful) Decode(b StatefulBlock) ([]byte, error) {
+	switch b.Mode {
+	case ModeStored:
+		if len(b.Payload) != BlockSize || b.SizeBits != 8*BlockSize {
+			return nil, ErrCorrupt
+		}
+		out := make([]byte, BlockSize)
+		copy(out, b.Payload)
+		s.advance(out)
+		return out, nil
+
+	case ModeDirect:
+		out, err := s.alg.Decompress(Compressed{
+			Alg: s.alg.Name(), SizeBits: b.SizeBits, Payload: b.Payload,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.advance(out)
+		return out, nil
+
+	case ModeResidual:
+		if s.seen == 0 {
+			return nil, ErrCorrupt
+		}
+		resid, err := s.alg.Decompress(Compressed{
+			Alg: s.alg.Name(), SizeBits: b.SizeBits, Payload: b.Payload,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(resid) != BlockSize {
+			return nil, ErrCorrupt
+		}
+		out := make([]byte, BlockSize)
+		for i := range out {
+			out[i] = resid[i] ^ s.base[i]
+		}
+		s.advance(out)
+		return out, nil
+	}
+	return nil, ErrCorrupt
+}

@@ -1,0 +1,276 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// acceptResult carries the server half of a handshake attempt.
+type acceptResult struct {
+	conn *Conn
+	err  error
+}
+
+// acceptAsync runs Accept on sn with a short handshake deadline so no
+// fault case can hang the test.
+func acceptAsync(sn net.Conn, allowed func(string) bool) <-chan acceptResult {
+	ch := make(chan acceptResult, 1)
+	go func() {
+		c, err := Accept(sn, &AcceptOptions{
+			Allowed:          allowed,
+			HandshakeTimeout: 500 * time.Millisecond,
+		})
+		ch <- acceptResult{c, err}
+	}()
+	return ch
+}
+
+// TestHandshakeFaultMatrix is the ISSUE's fault matrix: every way a
+// handshake can go wrong must produce its typed error on the right
+// end, and must do so within the deadline — never a hang.
+func TestHandshakeFaultMatrix(t *testing.T) {
+	t.Run("wrong-magic", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		res := acceptAsync(sn, nil)
+		// Exactly the fixed-header length: net.Pipe writes only complete
+		// once fully consumed, and the server stops reading at the magic.
+		if _, err := cn.Write([]byte("GET / ")); err != nil {
+			t.Fatal(err)
+		}
+		if r := <-res; !errors.Is(r.err, ErrBadMagic) {
+			t.Fatalf("server got %v, want ErrBadMagic", r.err)
+		}
+	})
+
+	t.Run("unknown-codec", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		res := acceptAsync(sn, nil)
+		errc := make(chan error, 1)
+		go func() {
+			_, err := Client(cn, "snappy")
+			errc <- err
+		}()
+		if r := <-res; !errors.Is(r.err, ErrUnknownCodec) {
+			t.Fatalf("server got %v, want ErrUnknownCodec", r.err)
+		}
+		if err := <-errc; !errors.Is(err, ErrUnknownCodec) {
+			t.Fatalf("client got %v, want ErrUnknownCodec", err)
+		}
+	})
+
+	t.Run("allowlisted-out", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		res := acceptAsync(sn, func(name string) bool { return name == "delta" })
+		errc := make(chan error, 1)
+		go func() {
+			_, err := Client(cn, "fpc") // real codec, not allowlisted
+			errc <- err
+		}()
+		if r := <-res; !errors.Is(r.err, ErrUnknownCodec) {
+			t.Fatalf("server got %v, want ErrUnknownCodec", r.err)
+		}
+		if err := <-errc; !errors.Is(err, ErrUnknownCodec) {
+			t.Fatalf("client got %v, want ErrUnknownCodec", err)
+		}
+	})
+
+	t.Run("version-skew", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		res := acceptAsync(sn, nil)
+		errc := make(chan error, 1)
+		go func() {
+			// A future-version hello: magic ok, version 99. Only the
+			// fixed header — the server rejects at the version byte and
+			// never reads a codec name, and an unconsumed tail would
+			// strand this pipe write.
+			if _, err := cn.Write(append(magic[:], 99, 5)); err != nil {
+				errc <- err
+				return
+			}
+			errc <- readReply(cn, "delta")
+		}()
+		if r := <-res; !errors.Is(r.err, ErrVersionSkew) {
+			t.Fatalf("server got %v, want ErrVersionSkew", r.err)
+		}
+		if err := <-errc; !errors.Is(err, ErrVersionSkew) {
+			t.Fatalf("client got %v, want ErrVersionSkew", err)
+		}
+	})
+
+	t.Run("truncated-hello", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = sn.Close() }()
+		res := acceptAsync(sn, nil)
+		if _, err := cn.Write(magic[:2]); err != nil { // two bytes, then gone
+			t.Fatal(err)
+		}
+		_ = cn.Close()
+		if r := <-res; !errors.Is(r.err, ErrTruncatedHello) {
+			t.Fatalf("server got %v, want ErrTruncatedHello", r.err)
+		}
+	})
+
+	t.Run("truncated-codec-name", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = sn.Close() }()
+		res := acceptAsync(sn, nil)
+		// Header claims a 10-byte codec name, delivers 3, disappears.
+		if _, err := cn.Write(append(magic[:], Version, 10, 'd', 'e', 'l')); err != nil {
+			t.Fatal(err)
+		}
+		_ = cn.Close()
+		if r := <-res; !errors.Is(r.err, ErrTruncatedHello) {
+			t.Fatalf("server got %v, want ErrTruncatedHello", r.err)
+		}
+	})
+
+	t.Run("stalled-hello-times-out", func(t *testing.T) {
+		// The "never hangs" guarantee: a peer that connects and sends
+		// half a hello then stalls must be cut off by the deadline.
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		start := time.Now()
+		res := acceptAsync(sn, nil)
+		if _, err := cn.Write(magic[:3]); err != nil {
+			t.Fatal(err)
+		}
+		r := <-res
+		if !errors.Is(r.err, ErrTruncatedHello) {
+			t.Fatalf("server got %v, want ErrTruncatedHello (deadline)", r.err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("handshake took %s — the deadline did not bound it", elapsed)
+		}
+	})
+
+	t.Run("oversize-codec-name", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		res := acceptAsync(sn, nil)
+		errc := make(chan error, 1)
+		go func() {
+			buf := append(magic[:], Version, 255)
+			if _, err := cn.Write(buf); err != nil {
+				errc <- err
+				return
+			}
+			errc <- readReply(cn, string(make([]byte, 255)))
+		}()
+		if r := <-res; !errors.Is(r.err, ErrUnknownCodec) {
+			t.Fatalf("server got %v, want ErrUnknownCodec", r.err)
+		}
+		if err := <-errc; !errors.Is(err, ErrUnknownCodec) {
+			t.Fatalf("client got %v, want ErrUnknownCodec", err)
+		}
+	})
+
+	t.Run("client-rejects-bad-reply-magic", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		go func() {
+			_, _ = readHello(sn)
+			_, _ = sn.Write([]byte("NOPE....."))
+		}()
+		_, err := ClientTimeout(cn, "delta", time.Second)
+		if !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("client got %v, want ErrBadMagic", err)
+		}
+	})
+
+	t.Run("client-rejects-unknown-status", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		go func() {
+			_, _ = readHello(sn)
+			_, _ = sn.Write(append(magic[:], Version, 77, 0))
+		}()
+		_, err := ClientTimeout(cn, "delta", time.Second)
+		if !errors.Is(err, ErrRejected) {
+			t.Fatalf("client got %v, want ErrRejected", err)
+		}
+	})
+
+	t.Run("client-rejects-wrong-echo", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		go func() {
+			_, _ = readHello(sn)
+			_ = writeReply(sn, statusOK, "fpc") // accepted the wrong codec
+		}()
+		_, err := ClientTimeout(cn, "delta", time.Second)
+		if !errors.Is(err, ErrRejected) {
+			t.Fatalf("client got %v, want ErrRejected", err)
+		}
+	})
+
+	t.Run("client-empty-codec", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		defer func() { _ = cn.Close(); _ = sn.Close() }()
+		if _, err := ClientTimeout(cn, "", time.Second); !errors.Is(err, ErrTruncatedHello) && !errors.Is(err, ErrUnknownCodec) {
+			t.Fatalf("got %v, want a typed handshake error", err)
+		}
+	})
+
+	t.Run("server-vanishes-before-reply", func(t *testing.T) {
+		cn, sn := net.Pipe()
+		go func() {
+			_, _ = readHello(sn)
+			_ = sn.Close()
+		}()
+		_, err := ClientTimeout(cn, "delta", time.Second)
+		if !errors.Is(err, ErrTruncatedHello) {
+			t.Fatalf("client got %v, want ErrTruncatedHello", err)
+		}
+		_ = cn.Close()
+	})
+}
+
+// TestHandshakeHappyPathEchoes: the reply must echo the codec and the
+// version, proving both ends agreed on the same stream parameters.
+func TestHandshakeHappyPathEchoes(t *testing.T) {
+	cn, sn := net.Pipe()
+	defer func() { _ = cn.Close(); _ = sn.Close() }()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var srvCodec string
+	var srvErr error
+	go func() {
+		defer wg.Done()
+		srvCodec, srvErr = serverHandshake(sn, nil)
+	}()
+	if err := writeHello(cn, "sc2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := readReply(cn, "sc2"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if srvErr != nil || srvCodec != "sc2" {
+		t.Fatalf("server handshake: codec=%q err=%v", srvCodec, srvErr)
+	}
+}
+
+// TestReadHelloEOFBeforeAnyByte: an immediately-closed conn is a
+// truncated hello, not a crash.
+func TestReadHelloEOFBeforeAnyByte(t *testing.T) {
+	cn, sn := net.Pipe()
+	_ = cn.Close()
+	_, err := readHello(sn)
+	if !errors.Is(err, ErrTruncatedHello) {
+		t.Fatalf("got %v, want ErrTruncatedHello", err)
+	}
+	_ = sn.Close()
+	if !errors.Is(err, ErrTruncatedHello) || errors.Is(err, io.EOF) {
+		// the io.EOF must be wrapped inside the typed error's message,
+		// not exposed as the identity
+		t.Fatalf("typed error identity lost: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/disco-sim/disco/internal/metrics"
+	"github.com/disco-sim/disco/internal/obs"
+)
+
+// ConnStats is one connection's counters. The serve and handler
+// goroutines share them through atomics, so the live /metrics endpoint
+// can read an in-flight connection without a lock.
+type ConnStats struct {
+	ID    uint64
+	Codec string
+
+	BlocksIn     atomic.Uint64 // decoded frames
+	BlocksOut    atomic.Uint64 // encoded frames
+	BytesIn      atomic.Uint64 // application bytes received
+	BytesOut     atomic.Uint64 // application bytes sent
+	WireBytesIn  atomic.Uint64 // frame bytes received (header + payload)
+	WireBytesOut atomic.Uint64 // frame bytes sent
+}
+
+// connTotals is the fold of one or many ConnStats.
+type connTotals struct {
+	blocksIn, blocksOut       uint64
+	bytesIn, bytesOut         uint64
+	wireBytesIn, wireBytesOut uint64
+}
+
+func (t *connTotals) add(cs *ConnStats) {
+	t.blocksIn += cs.BlocksIn.Load()
+	t.blocksOut += cs.BlocksOut.Load()
+	t.bytesIn += cs.BytesIn.Load()
+	t.bytesOut += cs.BytesOut.Load()
+	t.wireBytesIn += cs.WireBytesIn.Load()
+	t.wireBytesOut += cs.WireBytesOut.Load()
+}
+
+// Metrics aggregates a server's stream counters with a per-connection
+// scope lifecycle: OpenConn registers a live scope (exported under
+// stream.conn.<id> while the connection is active), CloseConn folds the
+// connection's totals into the cumulative aggregate and retires the
+// scope. The registry snapshot is rebuilt per request, so thousands of
+// short-lived connections never grow a persistent registry.
+type Metrics struct {
+	Accepted        atomic.Uint64 // handshakes completed
+	HandshakeErrors atomic.Uint64 // handshakes failed (any fault class)
+	ConnErrors      atomic.Uint64 // streams torn down by a mid-stream error
+	Refused         atomic.Uint64 // connections refused while draining
+
+	mu       sync.Mutex
+	nextID   uint64
+	active   map[uint64]*ConnStats
+	closed   connTotals        // fold of every retired connection
+	byCodec  map[string]uint64 // completed handshakes per codec
+	perConnN int               // per-conn scopes to export (bounded)
+}
+
+// maxPerConnScopes bounds how many per-connection scopes one /metrics
+// render includes (lowest IDs first): the endpoint must stay readable
+// and cheap with thousands of live streams. The aggregate families
+// always cover every connection.
+const maxPerConnScopes = 64
+
+// NewMetrics returns an empty aggregate.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		active:   make(map[uint64]*ConnStats),
+		byCodec:  make(map[string]uint64),
+		perConnN: maxPerConnScopes,
+	}
+}
+
+// OpenConn registers a new live connection and returns its stats.
+// Codec is filled in by the handshake (via AcceptOptions.Stats).
+func (m *Metrics) OpenConn() *ConnStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	cs := &ConnStats{ID: m.nextID}
+	m.active[cs.ID] = cs
+	return cs
+}
+
+// Handshook records a completed handshake for cs's codec.
+func (m *Metrics) Handshook(cs *ConnStats) {
+	m.Accepted.Add(1)
+	m.mu.Lock()
+	m.byCodec[cs.Codec]++
+	m.mu.Unlock()
+}
+
+// CloseConn retires a live connection: its totals fold into the
+// cumulative aggregate and its per-conn scope disappears.
+func (m *Metrics) CloseConn(cs *ConnStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.active, cs.ID)
+	m.closed.add(cs)
+}
+
+// ActiveConns reports the number of live connections.
+func (m *Metrics) ActiveConns() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Totals returns the aggregate over closed and live connections.
+func (m *Metrics) Totals() (blocksIn, blocksOut, bytesIn, bytesOut, wireIn, wireOut uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.closed
+	for _, cs := range m.active {
+		t.add(cs)
+	}
+	return t.blocksIn, t.blocksOut, t.bytesIn, t.bytesOut, t.wireBytesIn, t.wireBytesOut
+}
+
+// registry builds a point-in-time metrics.Registry snapshot. The
+// registry itself is single-threaded, so it is built fresh per call
+// from atomic reads under the map lock and then rendered immediately.
+func (m *Metrics) registry() *metrics.Registry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	reg := metrics.NewRegistry()
+	s := reg.Scope("stream")
+	s.Counter("conns.accepted").Add(m.Accepted.Load())
+	s.Counter("conns.handshake_errors").Add(m.HandshakeErrors.Load())
+	s.Counter("conns.errors").Add(m.ConnErrors.Load())
+	s.Counter("conns.refused").Add(m.Refused.Load())
+	s.Gauge("conns.active").Set(float64(len(m.active)))
+
+	t := m.closed
+	ids := make([]uint64, 0, len(m.active))
+	for id := range m.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t.add(m.active[id])
+	}
+	s.Counter("blocks.in").Add(t.blocksIn)
+	s.Counter("blocks.out").Add(t.blocksOut)
+	s.Counter("bytes.in").Add(t.bytesIn)
+	s.Counter("bytes.out").Add(t.bytesOut)
+	s.Counter("wire_bytes.in").Add(t.wireBytesIn)
+	s.Counter("wire_bytes.out").Add(t.wireBytesOut)
+
+	codecs := make([]string, 0, len(m.byCodec))
+	for name := range m.byCodec {
+		codecs = append(codecs, name)
+	}
+	sort.Strings(codecs)
+	for _, name := range codecs {
+		s.Scope("codec", name).Counter("streams").Add(m.byCodec[name])
+	}
+
+	for i, id := range ids {
+		if i >= m.perConnN {
+			break
+		}
+		cs := m.active[id]
+		cscope := s.Scope("conn", fmt.Sprintf("%d", id))
+		cscope.Counter("blocks.in").Add(cs.BlocksIn.Load())
+		cscope.Counter("blocks.out").Add(cs.BlocksOut.Load())
+		cscope.Counter("bytes.in").Add(cs.BytesIn.Load())
+		cscope.Counter("bytes.out").Add(cs.BytesOut.Load())
+		cscope.Counter("wire_bytes.in").Add(cs.WireBytesIn.Load())
+		cscope.Counter("wire_bytes.out").Add(cs.WireBytesOut.Load())
+	}
+	return reg
+}
+
+// RenderPrometheus renders the current snapshot as Prometheus text —
+// the closure discod installs as the obs.Server's live /metrics
+// source. Safe to call from any goroutine.
+func (m *Metrics) RenderPrometheus() []byte {
+	var buf []byte
+	w := appendWriter{&buf}
+	if err := m.registry().WritePrometheus(w, obs.Namespace); err != nil {
+		// The only failure mode is an invalid family name, which would
+		// be a bug in this file, not a runtime condition.
+		return []byte("# stream metrics render error: " + err.Error() + "\n")
+	}
+	return buf
+}
+
+// appendWriter adapts an append-to-slice sink to io.Writer.
+type appendWriter struct{ buf *[]byte }
+
+func (a appendWriter) Write(p []byte) (int, error) {
+	*a.buf = append(*a.buf, p...)
+	return len(p), nil
+}

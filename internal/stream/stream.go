@@ -1,0 +1,156 @@
+// Package stream lifts the DISCO codec suite out of the simulator into
+// a network-facing streaming layer (ROADMAP item 1, in the style of
+// ZipLine's in-network line-speed compression): a net.Conn-wrapping
+// Conn that frames application bytes into the paper's 64-byte blocks,
+// compresses each block with a negotiated registry codec through a
+// per-stream persistent delta base (compress.Stateful), and a Server
+// that multiplexes thousands of such streams with bounded memory.
+//
+// # Wire protocol (version 1)
+//
+// A connection opens with a fixed-size-prefix handshake:
+//
+//	client hello:  magic "DSCO" | version u8 | codecLen u8 | codec bytes
+//	server reply:  magic "DSCO" | version u8 | status  u8 | codecLen u8 | codec bytes
+//
+// status 0 accepts (echoing the codec); nonzero rejects and the server
+// closes the connection. Every handshake failure surfaces as one of the
+// typed errors below (ErrBadMagic, ErrVersionSkew, ErrUnknownCodec,
+// ErrTruncatedHello) on at least one end, and both ends run the
+// handshake under a deadline so a half-sent hello can never hang a
+// peer.
+//
+// After the handshake each direction is an independent sequence of
+// block frames (the two directions carry separate compression state):
+//
+//	frame: mode u8 | n u8 | sizeBits u16le | payloadLen u16le | payload
+//
+// mode is a compress.BlockMode (stored / direct / residual) or
+// frameClose (0xFF, the half-close marker: n, sizeBits and payloadLen
+// are zero). n is the count of application bytes in the decoded block
+// (1..64); a partial block is zero-padded to 64 bytes before encoding
+// and both sides fold the PADDED block into the stream state, so the
+// delta base never depends on application chunk boundaries.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/disco-sim/disco/internal/compress"
+)
+
+// Version is the protocol version this tree speaks.
+const Version = 1
+
+// magic opens every hello and every reply.
+var magic = [4]byte{'D', 'S', 'C', 'O'}
+
+// maxCodecName bounds the codec-name field of a hello: nothing the
+// registry can produce comes close, and the bound keeps a hostile
+// hello from making the server buffer arbitrary bytes.
+const maxCodecName = 32
+
+// frameClose is the half-close frame mode: the sender is done writing.
+const frameClose = 0xFF
+
+// frameHeaderLen is the fixed frame-header size.
+const frameHeaderLen = 6
+
+// maxFramePayload bounds one frame's payload. A stored block is
+// exactly compress.BlockSize bytes and every non-stored encoding is
+// strictly smaller, so anything larger is protocol corruption.
+const maxFramePayload = compress.BlockSize
+
+// Handshake status codes carried in the server reply.
+const (
+	statusOK           = 0
+	statusUnknownCodec = 1
+	statusVersionSkew  = 2
+)
+
+// Typed handshake and framing errors. The handshake-fault matrix test
+// pins each fault class to its error.
+var (
+	// ErrBadMagic: the peer's first bytes were not the protocol magic.
+	ErrBadMagic = errors.New("stream: bad protocol magic")
+	// ErrVersionSkew: the peer speaks a different protocol version.
+	ErrVersionSkew = errors.New("stream: protocol version skew")
+	// ErrUnknownCodec: the requested codec is not in the registry (or
+	// not in the server's allowlist).
+	ErrUnknownCodec = errors.New("stream: unknown codec")
+	// ErrTruncatedHello: the connection ended (or timed out) mid-
+	// handshake.
+	ErrTruncatedHello = errors.New("stream: truncated handshake")
+	// ErrRejected: the server rejected the handshake with a status this
+	// client does not know (forward compatibility: new status codes
+	// must not be mistaken for success).
+	ErrRejected = errors.New("stream: handshake rejected")
+	// ErrProtocol: a malformed data frame after a successful handshake.
+	ErrProtocol = errors.New("stream: protocol violation")
+	// ErrClosed: operation on a closed or half-closed stream.
+	ErrClosed = errors.New("stream: closed")
+)
+
+// frame is one decoded data-frame header.
+type frame struct {
+	mode     byte
+	n        int // application bytes in the decoded block
+	sizeBits int
+	payload  []byte // points into the caller's scratch; valid until next read
+}
+
+// putFrameHeader encodes a frame header into buf.
+func putFrameHeader(buf *[frameHeaderLen]byte, mode byte, n, sizeBits, payloadLen int) {
+	buf[0] = mode
+	buf[1] = byte(n)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(sizeBits))
+	binary.LittleEndian.PutUint16(buf[4:], uint16(payloadLen))
+}
+
+// readFrame reads one frame from r into scratch (which must hold
+// maxFramePayload bytes). It validates every field so a corrupt or
+// hostile peer yields ErrProtocol, never a panic or an unbounded read.
+// A clean EOF before any header byte is reported as io.EOF (the peer
+// dropped without half-closing — the caller decides how strict to be).
+func readFrame(r io.Reader, hdr *[frameHeaderLen]byte, scratch []byte) (frame, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return frame{}, fmt.Errorf("%w: truncated frame header", ErrProtocol)
+		}
+		return frame{}, err
+	}
+	f := frame{
+		mode:     hdr[0],
+		n:        int(hdr[1]),
+		sizeBits: int(binary.LittleEndian.Uint16(hdr[2:])),
+	}
+	plen := int(binary.LittleEndian.Uint16(hdr[4:]))
+	if f.mode == frameClose {
+		if f.n != 0 || f.sizeBits != 0 || plen != 0 {
+			return frame{}, fmt.Errorf("%w: close frame with nonzero fields", ErrProtocol)
+		}
+		return f, nil
+	}
+	switch compress.BlockMode(f.mode) {
+	case compress.ModeStored, compress.ModeDirect, compress.ModeResidual:
+	default:
+		return frame{}, fmt.Errorf("%w: unknown frame mode %#x", ErrProtocol, f.mode)
+	}
+	if f.n < 1 || f.n > compress.BlockSize {
+		return frame{}, fmt.Errorf("%w: block byte count %d out of range", ErrProtocol, f.n)
+	}
+	if plen < 1 || plen > maxFramePayload {
+		return frame{}, fmt.Errorf("%w: frame payload length %d out of range", ErrProtocol, plen)
+	}
+	if f.sizeBits < 1 || f.sizeBits > 8*compress.BlockSize {
+		return frame{}, fmt.Errorf("%w: encoded size %d bits out of range", ErrProtocol, f.sizeBits)
+	}
+	f.payload = scratch[:plen]
+	if _, err := io.ReadFull(r, f.payload); err != nil {
+		return frame{}, fmt.Errorf("%w: truncated frame payload", ErrProtocol)
+	}
+	return f, nil
+}
